@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out, beyond the
+ * paper's own figures:
+ *
+ *  - open vs. close page mode (Section 2's two policies);
+ *  - the next-line prefetcher using Table 1's prefetch MSHRs;
+ *  - the criticality-based scheduling extension of Section 3.1;
+ *  - line- vs. page-granular channel interleaving is fixed by the
+ *    mapping (see AddressMapping); the write-drain watermarks are
+ *    swept here instead.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace smtdram;
+using namespace smtdram::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.parse(argc, argv,
+                "Ablations: page mode, next-line prefetch, "
+                "criticality scheduling, write-drain watermarks");
+
+    ExperimentContext ctx = contextFromFlags(flags);
+    const auto mixes = mixesFromFlags(flags, memAndMixNames());
+
+    banner("Ablation", "design choices (weighted speedup)",
+           "open page should beat close page for workloads with row "
+           "locality; next-line prefetch helps streaming MEM mixes; "
+           "criticality ordering is a small refinement");
+
+    ResultTable table({"baseline", "close-pg", "prefetch", "critical",
+                       "eager-wr", "pg-ilv"});
+
+    for (const std::string &mix_name : mixes) {
+        const WorkloadMix &mix = mixByName(mix_name);
+        const auto threads =
+            static_cast<std::uint32_t>(mix.apps.size());
+
+        auto ws = [&](auto tweak) {
+            SystemConfig config = SystemConfig::paperDefault(threads);
+            tweak(config);
+            return ctx.runMix(config, mix).weightedSpeedup;
+        };
+
+        const double baseline = ws([](SystemConfig &) {});
+        const double close_pg = ws([](SystemConfig &c) {
+            c.dram.pageMode = PageMode::Close;
+        });
+        const double prefetch = ws([](SystemConfig &c) {
+            c.hierarchy.prefetchNextLine = true;
+        });
+        const double critical = ws([](SystemConfig &c) {
+            c.scheduler = SchedulerKind::CriticalityBased;
+        });
+        const double eager_wr = ws([](SystemConfig &c) {
+            c.dram.writeHighWatermark = 1;
+            c.dram.writeLowWatermark = 0;
+        });
+        const double page_ilv = ws([](SystemConfig &c) {
+            c.dram.channelInterleave = ChannelInterleave::Page;
+        });
+
+        table.addRow(mix_name, {baseline, close_pg / baseline,
+                                prefetch / baseline,
+                                critical / baseline,
+                                eager_wr / baseline,
+                                page_ilv / baseline});
+    }
+    table.print();
+    std::printf("(columns after 'baseline' are ratios to it)\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: common
+ * flags, result tables, and uniform headers so every bench prints
+ * the paper rows the same way.
+ */
+
+#ifndef SMTDRAM_BENCH_BENCH_UTIL_HH
+#define SMTDRAM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hh"
+#include "sim/experiment.hh"
+
+namespace smtdram::bench
+{
+
+/** Declare the flags every reproduction bench shares. */
+inline void
+declareCommonFlags(Flags &flags)
+{
+    flags.declare("insts", "40000", "measured instructions per thread");
+    flags.declare("warmup", "20000", "warm-up instructions per thread");
+    flags.declare("seed", "42", "workload seed");
+    flags.declare("mixes", "",
+                  "comma-separated subset of Table 2 mixes (default: "
+                  "the figure's own set)");
+}
+
+/** Build the experiment context from the parsed common flags. */
+inline ExperimentContext
+contextFromFlags(const Flags &flags)
+{
+    return ExperimentContext(
+        static_cast<std::uint64_t>(flags.getInt("insts")),
+        static_cast<std::uint64_t>(flags.getInt("warmup")),
+        static_cast<std::uint64_t>(flags.getInt("seed")));
+}
+
+/** The figure's workload set, optionally overridden by --mixes. */
+inline std::vector<std::string>
+mixesFromFlags(const Flags &flags,
+               const std::vector<std::string> &default_mixes)
+{
+    const std::string csv = flags.getString("mixes");
+    if (csv.empty())
+        return default_mixes;
+    return splitList(csv);
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &figure, const std::string &what,
+       const std::string &paper_claim)
+{
+    std::printf("== %s: %s ==\n", figure.c_str(), what.c_str());
+    std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+/** Row-major results table printed with workloads as rows. */
+class ResultTable
+{
+  public:
+    explicit ResultTable(std::vector<std::string> column_names)
+        : columns_(std::move(column_names))
+    {
+    }
+
+    void
+    addRow(const std::string &name, std::vector<double> values)
+    {
+        rows_.push_back({name, std::move(values)});
+    }
+
+    /** Print with a printf format for each value, e.g. "%8.3f". */
+    void
+    print(const char *value_fmt = "%10.3f") const
+    {
+        std::printf("%-10s", "workload");
+        for (const auto &c : columns_)
+            std::printf("  %13s", c.c_str());
+        std::printf("\n");
+        for (const auto &row : rows_) {
+            std::printf("%-10s", row.name.c_str());
+            for (double v : row.values) {
+                char cell[64];
+                std::snprintf(cell, sizeof(cell), value_fmt, v);
+                std::printf("  %13s", cell);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+
+    const std::vector<std::string> &columns() const { return columns_; }
+
+  private:
+    struct Row {
+        std::string name;
+        std::vector<double> values;
+    };
+
+    std::vector<std::string> columns_;
+    std::vector<Row> rows_;
+};
+
+/** All nine Table 2 mixes. */
+inline std::vector<std::string>
+allMixNames()
+{
+    std::vector<std::string> names;
+    for (const auto &m : table2Mixes())
+        names.push_back(m.name);
+    return names;
+}
+
+/** The MEM and MIX mixes (memory-sensitive figures skip ILP). */
+inline std::vector<std::string>
+memAndMixNames()
+{
+    return {"2-MIX", "2-MEM", "4-MIX", "4-MEM", "8-MIX", "8-MEM"};
+}
+
+} // namespace smtdram::bench
+
+#endif // SMTDRAM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 2 reproduction: weighted speedup of the four fetch policies
+ * (ICOUNT, Fetch-stall, DG, DWarn) on the 2-channel DDR SDRAM
+ * system, for all nine Table 2 mixes.
+ */
+
+#include "bench/bench_util.hh"
+#include "cpu/fetch_policy.hh"
+
+using namespace smtdram;
+using namespace smtdram::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.parse(argc, argv,
+                "Figure 2: weighted speedup of four SMT fetch "
+                "policies on the 2-channel DDR SDRAM system");
+
+    ExperimentContext ctx = contextFromFlags(flags);
+    const auto mixes = mixesFromFlags(flags, allMixNames());
+
+    banner("Figure 2", "weighted speedup of four fetch policies",
+           "comparable for ILP workloads; DG/DWarn/Fetch-stall beat "
+           "ICOUNT clearly on 8-MEM and 8-MIX");
+
+    std::vector<std::string> cols;
+    for (FetchPolicyKind k : allFetchPolicyKinds())
+        cols.push_back(fetchPolicyName(k));
+    ResultTable table(cols);
+
+    for (const std::string &mix_name : mixes) {
+        const WorkloadMix &mix = mixByName(mix_name);
+        std::vector<double> ws;
+        for (FetchPolicyKind policy : allFetchPolicyKinds()) {
+            SystemConfig config = SystemConfig::paperDefault(
+                static_cast<std::uint32_t>(mix.apps.size()));
+            config.core.fetchPolicy = policy;
+            ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
+        }
+        table.addRow(mix_name, ws);
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 3 reproduction: weighted speedup of ICOUNT and DWarn on the
+ * real 2-channel DDR SDRAM machine, normalized to the reference
+ * system with an infinitely large L3 cache under ICOUNT.
+ *
+ * Also reports the Section 5.1 side numbers: main-memory accesses
+ * per 100 instructions and the fraction of cycles issuing at least
+ * one integer instruction.
+ */
+
+#include "bench/bench_util.hh"
+#include "cpu/fetch_policy.hh"
+
+using namespace smtdram;
+using namespace smtdram::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.parse(argc, argv,
+                "Figure 3: performance loss due to DRAM accesses "
+                "under ICOUNT and DWarn");
+
+    ExperimentContext ctx = contextFromFlags(flags);
+    const auto mixes = mixesFromFlags(flags, allMixNames());
+
+    banner("Figure 3",
+           "2-channel DRAM vs. infinite L3 (normalized weighted "
+           "speedup)",
+           "MEM workloads lose most of their performance to DRAM "
+           "accesses; DWarn recovers much of it for 8-MEM/8-MIX; ILP "
+           "workloads barely notice the memory system");
+
+    // Two normalizations are reported, bracketing the paper's
+    // (ambiguously specified) one:
+    //  - "tput": weighted speedups share fixed single-thread
+    //    baselines, so the ratio is the raw throughput retained when
+    //    the infinite L3 is replaced by the real memory system —
+    //    this includes each program's intrinsic slowdown (the
+    //    paper's 2-MEM "loses 73.4%" reads like this);
+    //  - "eff": per-configuration baselines, so the ratio compares
+    //    SMT efficiency only (the paper's 2-MIX "loses 9.8%" reads
+    //    like this).
+    ResultTable table({"dram+IC", "dram+DW", "IC tput", "DW tput",
+                       "DW eff", "mem/100i", "int-issue%"});
+
+    for (const std::string &mix_name : mixes) {
+        const WorkloadMix &mix = mixByName(mix_name);
+        const auto threads =
+            static_cast<std::uint32_t>(mix.apps.size());
+
+        SystemConfig ref = SystemConfig::paperDefault(threads);
+        ref.core.fetchPolicy = FetchPolicyKind::Icount;
+        const MixRun ref_fixed = ctx.runMix(ref.withInfiniteL3(), mix);
+        const MixRun ref_eff =
+            ctx.runMix(ref.withInfiniteL3(), mix, true);
+
+        SystemConfig icount = SystemConfig::paperDefault(threads);
+        icount.core.fetchPolicy = FetchPolicyKind::Icount;
+        const MixRun ic = ctx.runMix(icount, mix);
+
+        SystemConfig dwarn = SystemConfig::paperDefault(threads);
+        dwarn.core.fetchPolicy = FetchPolicyKind::DWarn;
+        const MixRun dw = ctx.runMix(dwarn, mix);
+        const MixRun dw_eff = ctx.runMix(dwarn, mix, true);
+
+        table.addRow(
+            mix_name,
+            {ic.weightedSpeedup, dw.weightedSpeedup,
+             ic.weightedSpeedup / ref_fixed.weightedSpeedup,
+             dw.weightedSpeedup / ref_fixed.weightedSpeedup,
+             dw_eff.weightedSpeedup / ref_eff.weightedSpeedup,
+             dw.run.memAccessPer100,
+             100.0 * dw.run.intIssueActiveFrac});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 4 reproduction: distribution of the number of outstanding
+ * memory requests sampled on every cycle in which the DRAM system is
+ * busy (2-channel DDR SDRAM, DWarn fetch policy).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace smtdram;
+using namespace smtdram::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.parse(argc, argv,
+                "Figure 4: distribution of outstanding memory "
+                "requests while the DRAM system is busy");
+
+    ExperimentContext ctx = contextFromFlags(flags);
+    const auto mixes = mixesFromFlags(flags, allMixNames());
+
+    banner("Figure 4",
+           "outstanding requests while the DRAM system is busy",
+           "MEM workloads almost always have multiple requests "
+           "outstanding; concurrency grows with the thread count");
+
+    ResultTable table({"1", "2-4", "5-8", "9-16", ">16", ">8frac"});
+
+    for (const std::string &mix_name : mixes) {
+        const MixRun r = ctx.runMix(mix_name);
+        const Histogram &h = r.run.outstandingHist;
+        std::vector<double> row;
+        for (size_t b = 0; b < h.numBuckets(); ++b)
+            row.push_back(100.0 * h.bucketFraction(b));
+        row.push_back(100.0 * h.fractionAbove(8));
+        table.addRow(mix_name, row);
+    }
+    table.print("%9.1f%%");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 5 reproduction: when multiple memory requests are
+ * outstanding, how many distinct threads generated them (2-channel
+ * DDR SDRAM, DWarn fetch policy).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace smtdram;
+using namespace smtdram::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.parse(argc, argv,
+                "Figure 5: number of threads generating the "
+                "outstanding requests when several are pending");
+
+    ExperimentContext ctx = contextFromFlags(flags);
+    const auto mixes = mixesFromFlags(flags, allMixNames());
+
+    banner("Figure 5",
+           "threads contributing when >= 2 requests are outstanding",
+           "for MEM workloads the concurrent requests come from most "
+           "or all threads; for ILP workloads usually from a single "
+           "thread");
+
+    ResultTable table({"1", "2", "3", "4", "5", "6", "7", "8"});
+
+    for (const std::string &mix_name : mixes) {
+        const MixRun r = ctx.runMix(mix_name);
+        const Histogram &h = r.run.threadsHist;
+        std::vector<double> row;
+        for (size_t b = 0; b < h.numBuckets(); ++b)
+            row.push_back(100.0 * h.bucketFraction(b));
+        table.addRow(mix_name, row);
+    }
+    table.print("%9.1f%%");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 6 reproduction: weighted speedup as the number of
+ * independent memory channels grows from 2 to 4 to 8, normalized to
+ * the 2-channel system per workload.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace smtdram;
+using namespace smtdram::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.parse(argc, argv,
+                "Figure 6: performance vs. number of independent "
+                "memory channels (2/4/8)");
+
+    ExperimentContext ctx = contextFromFlags(flags);
+    const auto mixes = mixesFromFlags(flags, allMixNames());
+
+    banner("Figure 6",
+           "weighted speedup vs. channel count, normalized to "
+           "2 channels",
+           "channel scaling helps MEM workloads most (paper: "
+           "+73.7%/+153.8%/+151.1% for 2/4/8-MEM at 8 channels); ILP "
+           "workloads are insensitive");
+
+    ResultTable table({"2ch", "4ch", "8ch", "4ch norm", "8ch norm"});
+
+    for (const std::string &mix_name : mixes) {
+        const WorkloadMix &mix = mixByName(mix_name);
+        const auto threads =
+            static_cast<std::uint32_t>(mix.apps.size());
+
+        std::vector<double> ws;
+        for (std::uint32_t channels : {2u, 4u, 8u}) {
+            SystemConfig config = SystemConfig::paperDefault(threads);
+            const MappingScheme mapping = config.dram.mapping;
+            config.dram = DramConfig::ddrSdram(channels);
+            config.dram.mapping = mapping;
+            ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
+        }
+        table.addRow(mix_name, {ws[0], ws[1], ws[2], ws[1] / ws[0],
+                                ws[2] / ws[0]});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 7 reproduction: clustering physical channels into logical
+ * ones ("xC-yG").  A ganged group moves one request over a wider bus
+ * (shorter transfer) but serves fewer requests concurrently.
+ *
+ * ILP workloads are excluded, as in the paper (their performance is
+ * insensitive to the memory organization).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace smtdram;
+using namespace smtdram::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.parse(argc, argv,
+                "Figure 7: physical-to-logical channel clustering "
+                "(2C-1G ... 8C-4G), MEM and MIX workloads");
+
+    ExperimentContext ctx = contextFromFlags(flags);
+    const auto mixes = mixesFromFlags(flags, memAndMixNames());
+
+    banner("Figure 7",
+           "channel ganging, weighted speedup normalized to 2C-1G",
+           "independent channels win: ganging both channels of the "
+           "2-channel system costs up to ~34% (2-MEM); 8C-4G reaches "
+           "only ~half of 8C-1G for 4-MEM (up to 90% gap)");
+
+    struct Org {
+        std::uint32_t channels;
+        std::uint32_t gang;
+    };
+    const std::vector<Org> orgs = {{2, 1}, {2, 2}, {4, 1}, {4, 2},
+                                   {8, 1}, {8, 2}, {8, 4}};
+
+    std::vector<std::string> cols;
+    for (const Org &o : orgs) {
+        cols.push_back(std::to_string(o.channels) + "C-" +
+                       std::to_string(o.gang) + "G");
+    }
+    ResultTable table(cols);
+
+    for (const std::string &mix_name : mixes) {
+        const WorkloadMix &mix = mixByName(mix_name);
+        const auto threads =
+            static_cast<std::uint32_t>(mix.apps.size());
+
+        std::vector<double> ws;
+        for (const Org &o : orgs) {
+            SystemConfig config = SystemConfig::paperDefault(threads);
+            const MappingScheme mapping = config.dram.mapping;
+            config.dram = DramConfig::ddrSdram(o.channels, o.gang);
+            config.dram.mapping = mapping;
+            ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
+        }
+        const double base = ws[0];
+        for (double &v : ws)
+            v /= base;
+        table.addRow(mix_name, ws);
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot simulator primitives:
+ * address mapping, scheduler picks, controller transaction flow,
+ * cache tag access, and workload generation.  These guard the
+ * simulator's own performance (a slow simulator caps experiment
+ * sizes) and double as an ablation of scheduler pick costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hh"
+#include "common/random.hh"
+#include "dram/address_mapping.hh"
+#include "dram/memory_controller.hh"
+#include "workload/spec2000.hh"
+#include "workload/synthetic_stream.hh"
+
+using namespace smtdram;
+
+namespace
+{
+
+void
+BM_AddressMappingPage(benchmark::State &state)
+{
+    DramConfig config = DramConfig::ddrSdram(8);
+    config.mapping = MappingScheme::PageInterleave;
+    AddressMapping mapping(config);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mapping.map(rng.below(1ULL << 32) & ~63ULL));
+    }
+}
+BENCHMARK(BM_AddressMappingPage);
+
+void
+BM_AddressMappingXor(benchmark::State &state)
+{
+    DramConfig config = DramConfig::ddrSdram(8);
+    config.mapping = MappingScheme::XorPermute;
+    AddressMapping mapping(config);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mapping.map(rng.below(1ULL << 32) & ~63ULL));
+    }
+}
+BENCHMARK(BM_AddressMappingXor);
+
+/** Scheduler pick cost over a queue of the given depth. */
+void
+BM_SchedulerPick(benchmark::State &state)
+{
+    const auto kind = static_cast<SchedulerKind>(state.range(0));
+    const size_t depth = static_cast<size_t>(state.range(1));
+
+    auto scheduler = makeScheduler(kind);
+    Rng rng(7);
+    std::vector<DramRequest> reqs(depth);
+    std::vector<SchedCandidate> candidates(depth);
+    for (size_t i = 0; i < depth; ++i) {
+        reqs[i].id = i + 1;
+        reqs[i].arrival = rng.below(1000);
+        reqs[i].thread = static_cast<ThreadId>(rng.below(8));
+        reqs[i].snap.outstandingRequests =
+            static_cast<std::uint32_t>(rng.below(16));
+        reqs[i].snap.robOccupancy =
+            static_cast<std::uint32_t>(rng.below(256));
+        reqs[i].snap.iqOccupancy =
+            static_cast<std::uint32_t>(rng.below(64));
+        candidates[i].req = &reqs[i];
+        candidates[i].rowHit = rng.chance(0.4);
+        candidates[i].bankIdle = rng.chance(0.2);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheduler->pick(candidates, depth));
+    state.SetLabel(schedulerName(kind));
+}
+BENCHMARK(BM_SchedulerPick)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {8, 32}});
+
+/** End-to-end controller throughput on a synthetic request storm. */
+void
+BM_ControllerStream(benchmark::State &state)
+{
+    DramConfig config = DramConfig::ddrSdram(1);
+    AddressMapping mapping(config);
+    MemoryController mc(config, SchedulerKind::HitFirst);
+    Rng rng(3);
+    std::vector<DramRequest> completed;
+    Cycle now = 0;
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        ++now;
+        if (mc.canAcceptRead()) {
+            DramRequest req;
+            req.id = id++;
+            req.op = MemOp::Read;
+            req.addr = rng.below(1ULL << 28) & ~63ULL;
+            req.thread = 0;
+            req.arrival = now;
+            req.coord = mapping.map(req.addr);
+            mc.enqueue(req);
+        }
+        completed.clear();
+        mc.tick(now, completed);
+        benchmark::DoNotOptimize(completed.size());
+    }
+    state.counters["reads"] = static_cast<double>(mc.stats().reads);
+}
+BENCHMARK(BM_ControllerStream);
+
+void
+BM_CacheArrayAccess(benchmark::State &state)
+{
+    CacheLevelConfig config{512 * 1024, 2, 64, 10, 16};
+    CacheArray cache(config, "bench-L2");
+    Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1ULL << 24) & ~63ULL, false));
+    }
+}
+BENCHMARK(BM_CacheArrayAccess);
+
+/** Generation cost per instruction for representative profiles. */
+void
+BM_SyntheticStream(benchmark::State &state)
+{
+    const auto &profiles = spec2000Profiles();
+    const AppProfile &profile =
+        profiles[static_cast<size_t>(state.range(0)) % profiles.size()];
+    SyntheticStream stream(profile, 42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stream.next());
+    state.SetLabel(profile.name);
+}
+BENCHMARK(BM_SyntheticStream)->Arg(0)->Arg(3)->Arg(13);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table 1 reproduction: prints the simulator parameters straight from
+ * the live configuration structs, so the table can never drift from
+ * what the code actually simulates.
+ */
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/system_config.hh"
+
+using namespace smtdram;
+
+namespace
+{
+
+void
+row(const char *name, const char *fmt, ...)
+{
+    std::printf("  %-28s", name);
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const SystemConfig c = SystemConfig::paperDefault(8);
+    const CoreConfig &core = c.core;
+    const HierarchyConfig &h = c.hierarchy;
+    const DramConfig &d = c.dram;
+
+    std::printf("== Table 1: simulator parameters ==\n\n");
+    row("Processor speed", "%.0f GHz", d.timing.cpuMhz / 1000.0);
+    row("Fetch width", "%u instructions (up to %u threads)",
+        core.fetchWidth, core.fetchThreadsPerCycle);
+    row("Baseline fetch policy", "DWarn.%u.%u",
+        core.fetchThreadsPerCycle, core.fetchWidth);
+    row("Pipeline depth", "%u (front end %u + execute/commit)",
+        core.decodeStages + 6, core.decodeStages);
+    row("Functional units", "%u IntALU, %u IntMult, %u FPALU, %u FPMult",
+        core.intAluUnits, core.intMultUnits, core.fpAluUnits,
+        core.fpMultUnits);
+    row("Issue width", "%u Int, %u FP", core.intIssueWidth,
+        core.fpIssueWidth);
+    row("Issue queue size", "%u Int, %u FP", core.intIqSize,
+        core.fpIqSize);
+    row("Reorder buffer size", "%u/thread", core.robPerThread);
+    row("Physical register num", "%u Int, %u FP", core.intRegs,
+        core.fpRegs);
+    row("Load/store queue size", "%u LQ, %u SQ", core.lqSize,
+        core.sqSize);
+    row("Branch predictor", "hybrid, 4K global + 1K local "
+        "(32-entry RAS/thread)");
+    row("Branch target buffer", "1K-entry, 4-way");
+    row("Branch mispredict penalty", "%llu cycles",
+        (unsigned long long)core.mispredictPenalty);
+    row("L1 caches", "%lluKB I/%lluKB D, %u-way, %uB line, "
+        "%llu-cycle latency",
+        (unsigned long long)(h.l1i.sizeBytes / 1024),
+        (unsigned long long)(h.l1d.sizeBytes / 1024), h.l1d.assoc,
+        h.l1d.lineBytes, (unsigned long long)h.l1d.latency);
+    row("L2 cache", "%lluKB, %u-way, %uB line, %llu-cycle latency",
+        (unsigned long long)(h.l2.sizeBytes / 1024), h.l2.assoc,
+        h.l2.lineBytes, (unsigned long long)h.l2.latency);
+    row("L3 cache", "%lluMB, %u-way, %uB line, %llu-cycle latency",
+        (unsigned long long)(h.l3.sizeBytes / 1024 / 1024), h.l3.assoc,
+        h.l3.lineBytes, (unsigned long long)h.l3.latency);
+    row("TLB size", "%u-entry ITLB/%u-entry DTLB", h.tlbEntries,
+        h.tlbEntries);
+    row("MSHR entries", "%u/cache", h.l1d.mshrs);
+    row("Memory channels", "2/4/8 (this config: %u)",
+        d.physicalChannels);
+    row("Memory BW/channel", "%.0f MHz, DDR, %uB width",
+        d.timing.megaTransfersPerSec / 2, d.timing.transferBytes);
+    row("Memory banks", "%u banks/chip", d.banksPerChip);
+    row("DRAM access latency", "%lluns row, %lluns column, "
+        "%lluns precharge",
+        (unsigned long long)(d.timing.rowAccess * 1000 /
+                             (Cycle)d.timing.cpuMhz),
+        (unsigned long long)(d.timing.columnAccess * 1000 /
+                             (Cycle)d.timing.cpuMhz),
+        (unsigned long long)(d.timing.precharge * 1000 /
+                             (Cycle)d.timing.cpuMhz));
+    row("Line transfer", "%llu cpu cycles/64B line",
+        (unsigned long long)d.lineTransferCycles());
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 2 reproduction: the workload mixes, plus the behavioural
+ * profile backing each SPEC2000 application model.
+ */
+
+#include <cstdio>
+
+#include "workload/spec2000.hh"
+
+using namespace smtdram;
+
+namespace
+{
+
+const char *
+categoryName(AppCategory c)
+{
+    switch (c) {
+      case AppCategory::Ilp: return "ILP";
+      case AppCategory::Mid: return "MID";
+      case AppCategory::Mem: return "MEM";
+    }
+    return "?";
+}
+
+const char *
+patternName(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::Streaming: return "streaming";
+      case AccessPattern::Strided: return "strided";
+      case AccessPattern::Random: return "random";
+      case AccessPattern::PointerChase: return "ptr-chase";
+      case AccessPattern::Mixed: return "mixed";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Table 2: workload mixes ==\n\n");
+    for (const WorkloadMix &m : table2Mixes()) {
+        std::printf("  %-6s", m.name.c_str());
+        for (size_t i = 0; i < m.apps.size(); ++i)
+            std::printf("%s%s", i ? ", " : "", m.apps[i].c_str());
+        std::printf("\n");
+    }
+
+    std::printf("\n== application models (substitution for SPEC2000 "
+                "binaries; see DESIGN.md) ==\n\n");
+    std::printf("  %-9s %-4s %-3s %7s %9s %-10s %6s %5s\n", "app",
+                "cat", "fp", "ld+st", "cold(MB)", "pattern",
+                "cold%%", "ILP");
+    for (const AppProfile &p : spec2000Profiles()) {
+        std::printf("  %-9s %-4s %-3s %6.0f%% %9.2f %-10s %5.1f%% "
+                    "%5.1f\n",
+                    p.name.c_str(), categoryName(p.category),
+                    p.fpProgram ? "yes" : "no",
+                    100.0 * (p.loadFrac + p.storeFrac),
+                    static_cast<double>(p.coldBytes) / (1024 * 1024),
+                    patternName(p.coldPattern), 100.0 * p.coldFrac,
+                    p.depMean);
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+#include "cache/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+PageTables::PageTables(std::uint32_t page_bytes, std::uint32_t num_threads)
+    : pageShift_(floorLog2(page_bytes)), tables_(num_threads)
+{
+    fatal_if(!isPowerOfTwo(page_bytes), "page size must be a power of 2");
+}
+
+Addr
+PageTables::translate(ThreadId tid, Addr vaddr)
+{
+    panic_if(tid >= tables_.size(), "thread %u out of range", tid);
+    const Addr vpage = vaddr >> pageShift_;
+    const Addr offset = vaddr & ((Addr{1} << pageShift_) - 1);
+    auto &pt = tables_[tid];
+    auto it = pt.find(vpage);
+    Addr frame;
+    if (it == pt.end()) {
+        frame = nextFrame_++;
+        pt.emplace(vpage, frame);
+    } else {
+        frame = it->second;
+    }
+    return (frame << pageShift_) | offset;
+}
+
+Tlb::Tlb(std::uint32_t entries, Cycle miss_penalty)
+    : entries_(entries), missPenalty_(miss_penalty)
+{
+    fatal_if(entries_ == 0, "TLB needs at least one entry");
+}
+
+Cycle
+Tlb::lookup(ThreadId tid, Addr vpage)
+{
+    const std::uint64_t k = key(tid, vpage);
+    auto it = index_.find(k);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        stats_.hit();
+        return 0;
+    }
+    stats_.miss();
+    lru_.push_front(k);
+    index_[k] = lru_.begin();
+    if (lru_.size() > entries_) {
+        index_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return missPenalty_;
+}
+
+} // namespace smtdram

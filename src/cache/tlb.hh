@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Virtual-to-physical translation: per-thread page tables with
+ * sequential ("bin hopping" [14]) frame allocation, and thread-tagged
+ * TLBs (Table 1: 128-entry ITLB + 128-entry DTLB).
+ *
+ * Frames are handed out in global touch order, so pages of different
+ * threads interleave in physical memory the way a real OS allocating
+ * on first touch would place them — which is what determines how SMT
+ * threads collide in DRAM banks.
+ */
+
+#ifndef SMTDRAM_CACHE_TLB_HH
+#define SMTDRAM_CACHE_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace smtdram
+{
+
+/** Per-thread page tables; instruction and data share one space. */
+class PageTables
+{
+  public:
+    PageTables(std::uint32_t page_bytes, std::uint32_t num_threads);
+
+    /** Translate, allocating a frame on first touch. */
+    Addr translate(ThreadId tid, Addr vaddr);
+
+    Addr vpageOf(Addr vaddr) const { return vaddr >> pageShift_; }
+    std::uint64_t framesAllocated() const { return nextFrame_; }
+    std::uint32_t pageShift() const { return pageShift_; }
+
+  private:
+    std::uint32_t pageShift_;
+    std::vector<std::unordered_map<Addr, Addr>> tables_;
+    std::uint64_t nextFrame_ = 0;
+};
+
+/** One TLB (I or D): thread-tagged, fully associative, true LRU. */
+class Tlb
+{
+  public:
+    Tlb(std::uint32_t entries, Cycle miss_penalty);
+
+    /**
+     * Record a lookup of (tid, vpage).
+     * @return extra cycles to charge (0 on hit, missPenalty on miss).
+     */
+    Cycle lookup(ThreadId tid, Addr vpage);
+
+    const RatioStat &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    static std::uint64_t
+    key(ThreadId tid, Addr vpage)
+    {
+        return (static_cast<std::uint64_t>(tid) << 48) | vpage;
+    }
+
+    std::uint32_t entries_;
+    Cycle missPenalty_;
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        index_;
+    RatioStat stats_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_CACHE_TLB_HH

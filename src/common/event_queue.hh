@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal cycle-ordered callback queue.
+ *
+ * The core pipeline is cycle-stepped, but variable-latency completions
+ * (cache fills, DRAM returns) are easiest to express as "call me back
+ * at cycle N".  Events scheduled for the same cycle fire in FIFO
+ * order of scheduling, which keeps the simulation deterministic.
+ */
+
+#ifndef SMTDRAM_COMMON_EVENT_QUEUE_HH
+#define SMTDRAM_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace smtdram
+{
+
+/** Time-ordered queue of void() callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at cycle @p when (>= current time). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        panic_if(when < now_, "scheduling event in the past "
+                 "(when=%llu now=%llu)", (unsigned long long)when,
+                 (unsigned long long)now_);
+        heap_.push(Entry{when, seq_++, std::move(cb)});
+    }
+
+    /**
+     * Advance to @p now and run every event due at or before it.
+     * now() tracks each event's own time while it runs, so a
+     * callback may schedule follow-ups at its own cycle.
+     */
+    void
+    runUntil(Cycle now)
+    {
+        while (!heap_.empty() && heap_.top().when <= now) {
+            now_ = heap_.top().when;
+            // Copy out before pop so the callback may schedule more.
+            Callback cb = std::move(const_cast<Entry &>(heap_.top()).cb);
+            heap_.pop();
+            cb();
+        }
+        now_ = now;
+    }
+
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+    Cycle now() const { return now_; }
+
+    /** Cycle of the earliest pending event, or kCycleNever. */
+    Cycle
+    nextEventAt() const
+    {
+        return heap_.empty() ? kCycleNever : heap_.top().when;
+    }
+
+  private:
+    struct Entry {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t seq_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_COMMON_EVENT_QUEUE_HH

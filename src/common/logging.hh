@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated; this is a simulator
+ *            bug.  Aborts (may dump core).
+ * fatal()  — the user asked for something impossible (bad config,
+ *            bad CLI flag).  Exits with status 1.
+ * warn()   — something is approximated; simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef SMTDRAM_COMMON_LOGGING_HH
+#define SMTDRAM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace smtdram
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Formats like vsnprintf into a std::string. */
+std::string vformat(const char *fmt, va_list args);
+
+} // namespace smtdram
+
+#define panic(...) \
+    ::smtdram::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) \
+    ::smtdram::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::smtdram::warnImpl(__VA_ARGS__)
+#define inform(...) ::smtdram::informImpl(__VA_ARGS__)
+
+/** panic() unless @p cond holds — for internal invariants. */
+#define panic_if(cond, ...)        \
+    do {                           \
+        if (cond)                  \
+            panic(__VA_ARGS__);    \
+    } while (0)
+
+/** fatal() unless the user-supplied condition holds. */
+#define fatal_if(cond, ...)        \
+    do {                           \
+        if (cond)                  \
+            fatal(__VA_ARGS__);    \
+    } while (0)
+
+#endif // SMTDRAM_COMMON_LOGGING_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic pseudo-random source used by the synthetic workload
+ * generators and by tests.
+ *
+ * Everything in smtdram must be reproducible run-to-run, so no code
+ * may touch std::random_device or wall-clock entropy; every stream of
+ * randomness flows from an explicit seed through this class.
+ * The core generator is xoshiro256** (public domain, Blackman/Vigna).
+ */
+
+#ifndef SMTDRAM_COMMON_RANDOM_HH
+#define SMTDRAM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+/** Seeded, copyable, allocation-free PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : s_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        // Lemire-style multiply-shift rejection-free mapping; the tiny
+        // modulo bias is irrelevant for workload synthesis.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        panic_if(lo > hi, "Rng::range with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish draw of a small positive distance with the given
+     * mean; used for dependency distances.  Clamped to [1, cap].
+     */
+    unsigned
+    smallDistance(double mean, unsigned cap)
+    {
+        double u = uniform();
+        // Inverse-CDF of a geometric distribution with mean `mean`.
+        double p = 1.0 / mean;
+        unsigned d = 1;
+        double acc = p;
+        while (u > acc && d < cap) {
+            u -= acc;
+            acc *= (1.0 - p);
+            ++d;
+        }
+        return d;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_COMMON_RANDOM_HH

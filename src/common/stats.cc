@@ -1,0 +1,89 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0),
+      raw_(rawCap_, 0)
+{
+    panic_if(bounds_.empty(), "Histogram needs at least one bound");
+    for (size_t i = 1; i < bounds_.size(); ++i) {
+        panic_if(bounds_[i] <= bounds_[i - 1],
+                 "Histogram bounds must be strictly increasing");
+    }
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        ++i;
+    ++counts_[i];
+    ++total_;
+    if (v < raw_.size())
+        ++raw_[v];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    std::fill(raw_.begin(), raw_.end(), 0);
+    total_ = 0;
+}
+
+double
+Histogram::bucketFraction(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / total_;
+}
+
+std::string
+Histogram::bucketLabel(size_t i) const
+{
+    char buf[48];
+    if (i == bounds_.size()) {
+        std::snprintf(buf, sizeof(buf), ">%llu",
+                      (unsigned long long)bounds_.back());
+    } else {
+        const std::uint64_t hi = bounds_[i];
+        const std::uint64_t lo = (i == 0) ? 0 : bounds_[i - 1] + 1;
+        if (lo == hi) {
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          (unsigned long long)hi);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%llu-%llu",
+                          (unsigned long long)lo, (unsigned long long)hi);
+        }
+    }
+    return buf;
+}
+
+double
+Histogram::fractionAbove(std::uint64_t threshold) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t above = 0;
+    // Exact accounting for values we tracked raw; bucketed tail is
+    // handled by summing whole buckets beyond the threshold.
+    for (std::uint64_t v = threshold + 1; v < raw_.size(); ++v)
+        above += raw_[v];
+    // Values >= rawCap_ are certainly above any threshold < rawCap_.
+    std::uint64_t raw_total = 0;
+    for (auto c : raw_)
+        raw_total += c;
+    above += total_ - raw_total;
+    return static_cast<double>(above) / total_;
+}
+
+} // namespace smtdram

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Subsystems expose their measurements through these types rather than
+ * bare counters so the benches can print uniformly and the tests can
+ * assert on well-defined quantities.
+ */
+
+#ifndef SMTDRAM_COMMON_STATS_HH
+#define SMTDRAM_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace smtdram
+{
+
+/** Running scalar distribution: count / sum / min / max / mean. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    void
+    reset()
+    {
+        *this = Distribution();
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    friend Distribution mergeDistributions(const Distribution &a,
+                                           const Distribution &b);
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Exact union of two running distributions. */
+inline Distribution
+mergeDistributions(const Distribution &a, const Distribution &b)
+{
+    Distribution m;
+    m.count_ = a.count_ + b.count_;
+    m.sum_ = a.sum_ + b.sum_;
+    m.min_ = std::min(a.min_, b.min_);
+    m.max_ = std::max(a.max_, b.max_);
+    return m;
+}
+
+/**
+ * Histogram over explicit integer bucket upper bounds.
+ *
+ * Built with the bucket boundaries used by the paper's figures, e.g.
+ * {1, 4, 8, 16} yields buckets [0,1], [2,4], [5,8], [9,16], [17,inf).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+    /** Record one observation of value @p v. */
+    void sample(std::uint64_t v);
+
+    void reset();
+
+    std::uint64_t total() const { return total_; }
+    size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+
+    /** Fraction of samples in bucket @p i (0 if no samples). */
+    double bucketFraction(size_t i) const;
+
+    /** Human-readable bucket label, e.g. "2-4" or ">16". */
+    std::string bucketLabel(size_t i) const;
+
+    /** Fraction of samples strictly above @p threshold. */
+    double fractionAbove(std::uint64_t threshold) const;
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 buckets
+    std::vector<std::uint64_t> raw_;     // exact counts up to rawCap_
+    static constexpr size_t rawCap_ = 129;
+    std::uint64_t total_ = 0;
+};
+
+/** Hit/miss style ratio counter. */
+class RatioStat
+{
+  public:
+    void hit() { ++hits_; }
+    void miss() { ++misses_; }
+
+    void
+    reset()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t total() const { return hits_ + misses_; }
+
+    double
+    missRate() const
+    {
+        const std::uint64_t t = total();
+        return t ? static_cast<double>(misses_) / t : 0.0;
+    }
+
+    double hitRate() const { return total() ? 1.0 - missRate() : 0.0; }
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_COMMON_STATS_HH

@@ -1,0 +1,186 @@
+#include "cpu/branch_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config,
+                                 std::uint32_t num_threads)
+    : config_(config),
+      global_(config.globalEntries, 1),   // weakly not-taken
+      localHistory_(config.localHistories, 0),
+      local_(config.localEntries, 1),
+      chooser_(config.chooserEntries, 2), // weakly prefer global
+      globalHistory_(num_threads, 0),
+      btb_(config.btbEntries),
+      ras_(num_threads)
+{
+    fatal_if(!isPowerOfTwo(config.globalEntries) ||
+                 !isPowerOfTwo(config.localEntries) ||
+                 !isPowerOfTwo(config.localHistories) ||
+                 !isPowerOfTwo(config.chooserEntries),
+             "predictor tables must be powers of 2");
+    fatal_if(config.btbEntries % config.btbWays != 0,
+             "BTB entries must divide into ways");
+    for (auto &stack : ras_)
+        stack.reserve(config.rasEntries);
+}
+
+std::uint8_t
+BranchPredictor::saturate(std::uint8_t ctr, bool up)
+{
+    if (up)
+        return ctr < 3 ? ctr + 1 : 3;
+    return ctr > 0 ? ctr - 1 : 0;
+}
+
+std::uint32_t
+BranchPredictor::globalIndex(ThreadId tid, Addr pc) const
+{
+    const std::uint64_t h = globalHistory_[tid];
+    return static_cast<std::uint32_t>((h ^ (pc >> 2)) &
+                                      (config_.globalEntries - 1));
+}
+
+std::uint32_t
+BranchPredictor::localSlot(Addr pc) const
+{
+    return static_cast<std::uint32_t>((pc >> 2) &
+                                      (config_.localHistories - 1));
+}
+
+std::uint32_t
+BranchPredictor::chooserIndex(ThreadId tid, Addr pc) const
+{
+    const std::uint64_t h = globalHistory_[tid];
+    return static_cast<std::uint32_t>((h ^ (pc >> 2)) &
+                                      (config_.chooserEntries - 1));
+}
+
+BranchPredictor::BtbEntry *
+BranchPredictor::btbLookup(Addr pc)
+{
+    const std::uint32_t sets = config_.btbEntries / config_.btbWays;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>((pc >> 2) & (sets - 1));
+    BtbEntry *base = &btb_[set * config_.btbWays];
+    for (std::uint32_t w = 0; w < config_.btbWays; ++w) {
+        if (base[w].tag == pc)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+void
+BranchPredictor::btbInsert(Addr pc, Addr target)
+{
+    const std::uint32_t sets = config_.btbEntries / config_.btbWays;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>((pc >> 2) & (sets - 1));
+    BtbEntry *base = &btb_[set * config_.btbWays];
+    BtbEntry *slot = &base[0];
+    for (std::uint32_t w = 0; w < config_.btbWays; ++w) {
+        if (base[w].tag == pc || base[w].tag == kAddrInvalid) {
+            slot = &base[w];
+            break;
+        }
+        if (base[w].lastUse < slot->lastUse)
+            slot = &base[w];
+    }
+    slot->tag = pc;
+    slot->target = target;
+    slot->lastUse = ++useClock_;
+}
+
+BranchPrediction
+BranchPredictor::predict(ThreadId tid, const MicroOp &op)
+{
+    BranchPrediction pred;
+
+    if (op.isReturn) {
+        auto &stack = ras_[tid];
+        pred.taken = true;
+        if (!stack.empty()) {
+            pred.target = stack.back();
+            pred.targetValid = true;
+        }
+        return pred;
+    }
+
+    const bool g = global_[globalIndex(tid, op.pc)] >= 2;
+    const std::uint32_t lslot = localSlot(op.pc);
+    const std::uint32_t lidx = localHistory_[lslot] &
+                               (config_.localEntries - 1);
+    const bool l = local_[lidx] >= 2;
+    const bool use_global = chooser_[chooserIndex(tid, op.pc)] >= 2;
+    pred.taken = use_global ? g : l;
+
+    if (pred.taken) {
+        BtbEntry *entry = btbLookup(op.pc);
+        if (entry != nullptr) {
+            entry->lastUse = ++useClock_;
+            pred.target = entry->target;
+            pred.targetValid = true;
+        }
+    }
+    return pred;
+}
+
+bool
+BranchPredictor::update(ThreadId tid, const MicroOp &op,
+                        const BranchPrediction &pred)
+{
+    const bool actual = op.taken;
+
+    bool correct;
+    if (op.isReturn) {
+        correct = pred.targetValid && pred.target == op.nextPc;
+        auto &stack = ras_[tid];
+        if (!stack.empty())
+            stack.pop_back();
+    } else {
+        const std::uint32_t gidx = globalIndex(tid, op.pc);
+        const std::uint32_t cidx = chooserIndex(tid, op.pc);
+        const std::uint32_t lslot = localSlot(op.pc);
+        const std::uint32_t lidx = localHistory_[lslot] &
+                                   (config_.localEntries - 1);
+
+        const bool g = global_[gidx] >= 2;
+        const bool l = local_[lidx] >= 2;
+
+        // Chooser trains toward the component that was right.
+        if (g != l)
+            chooser_[cidx] = saturate(chooser_[cidx], g == actual);
+        global_[gidx] = saturate(global_[gidx], actual);
+        local_[lidx] = saturate(local_[lidx], actual);
+
+        localHistory_[lslot] = static_cast<std::uint16_t>(
+            ((localHistory_[lslot] << 1) | (actual ? 1 : 0)) & 0x3ff);
+        globalHistory_[tid] = (globalHistory_[tid] << 1) |
+                              (actual ? 1 : 0);
+
+        correct = pred.taken == actual;
+        if (actual) {
+            // A taken branch additionally needs the right target.
+            correct = correct && pred.targetValid &&
+                      pred.target == op.nextPc;
+            btbInsert(op.pc, op.nextPc);
+        }
+    }
+
+    if (op.isCall) {
+        auto &stack = ras_[tid];
+        if (stack.size() >= config_.rasEntries)
+            stack.erase(stack.begin());
+        stack.push_back(op.pc + 4);
+    }
+
+    if (correct)
+        stats_.hit();
+    else
+        stats_.miss();
+    return correct;
+}
+
+} // namespace smtdram

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Hybrid branch predictor per Table 1: 4K-entry global-history
+ * component, 1K-entry local-history component, a chooser, a 1K-entry
+ * 4-way BTB, and a 32-entry return address stack per thread.
+ *
+ * Prediction tables are shared across hardware threads (histories
+ * are per thread), so SMT threads interfere in the predictor exactly
+ * as they do in a real shared front end.
+ */
+
+#ifndef SMTDRAM_CPU_BRANCH_PREDICTOR_HH
+#define SMTDRAM_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/instruction.hh"
+
+namespace smtdram
+{
+
+/** Configuration of the hybrid predictor. */
+struct BranchPredictorConfig {
+    std::uint32_t globalEntries = 4096;  ///< 2-bit counters
+    std::uint32_t localHistories = 1024; ///< per-PC history registers
+    std::uint32_t localEntries = 1024;   ///< 2-bit counters
+    std::uint32_t chooserEntries = 4096; ///< 2-bit global-vs-local
+    std::uint32_t btbEntries = 1024;
+    std::uint32_t btbWays = 4;
+    std::uint32_t rasEntries = 32;
+};
+
+/** The prediction the core acts on. */
+struct BranchPrediction {
+    bool taken = false;
+    Addr target = 0;
+    bool targetValid = false;  ///< BTB/RAS produced a target
+};
+
+/** Hybrid global/local predictor with BTB and per-thread RAS. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(const BranchPredictorConfig &config,
+                    std::uint32_t num_threads);
+
+    /** Predict the branch at @p pc for thread @p tid. */
+    BranchPrediction predict(ThreadId tid, const MicroOp &op);
+
+    /**
+     * Train on the actual outcome and report correctness.
+     * @return true iff both direction and target were right.
+     */
+    bool update(ThreadId tid, const MicroOp &op,
+                const BranchPrediction &pred);
+
+    const RatioStat &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    static std::uint8_t saturate(std::uint8_t ctr, bool up);
+
+    std::uint32_t globalIndex(ThreadId tid, Addr pc) const;
+    std::uint32_t localSlot(Addr pc) const;
+    std::uint32_t chooserIndex(ThreadId tid, Addr pc) const;
+
+    struct BtbEntry {
+        Addr tag = kAddrInvalid;
+        Addr target = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    BtbEntry *btbLookup(Addr pc);
+    void btbInsert(Addr pc, Addr target);
+
+    BranchPredictorConfig config_;
+    std::vector<std::uint8_t> global_;
+    std::vector<std::uint16_t> localHistory_;
+    std::vector<std::uint8_t> local_;
+    std::vector<std::uint8_t> chooser_;
+    std::vector<std::uint64_t> globalHistory_;  // per thread
+    std::vector<BtbEntry> btb_;
+    std::vector<std::vector<Addr>> ras_;  // per thread
+    std::uint64_t useClock_ = 0;
+    RatioStat stats_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_CPU_BRANCH_PREDICTOR_HH

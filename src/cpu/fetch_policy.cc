@@ -1,0 +1,140 @@
+#include "cpu/fetch_policy.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+const std::vector<FetchPolicyKind> &
+allFetchPolicyKinds()
+{
+    static const std::vector<FetchPolicyKind> kinds = {
+        FetchPolicyKind::Icount,
+        FetchPolicyKind::FetchStall,
+        FetchPolicyKind::Dg,
+        FetchPolicyKind::DWarn,
+    };
+    return kinds;
+}
+
+std::string
+fetchPolicyName(FetchPolicyKind kind)
+{
+    switch (kind) {
+      case FetchPolicyKind::RoundRobin: return "RoundRobin";
+      case FetchPolicyKind::Icount: return "ICOUNT";
+      case FetchPolicyKind::FetchStall: return "Fetch-stall";
+      case FetchPolicyKind::Dg: return "DG";
+      case FetchPolicyKind::DWarn: return "DWarn";
+    }
+    panic("unknown FetchPolicyKind %d", static_cast<int>(kind));
+}
+
+FetchPolicyKind
+fetchPolicyFromName(const std::string &name)
+{
+    std::string lower;
+    for (char ch : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+    std::erase(lower, '-');
+    std::erase(lower, '_');
+    if (lower == "roundrobin" || lower == "rr")
+        return FetchPolicyKind::RoundRobin;
+    if (lower == "icount")
+        return FetchPolicyKind::Icount;
+    if (lower == "fetchstall" || lower == "stall")
+        return FetchPolicyKind::FetchStall;
+    if (lower == "dg")
+        return FetchPolicyKind::Dg;
+    if (lower == "dwarn")
+        return FetchPolicyKind::DWarn;
+    fatal("unknown fetch policy '%s'", name.c_str());
+}
+
+namespace
+{
+
+/** Sort key: (group, icount, rotated tid) — smaller fetches first. */
+struct RankEntry {
+    int group;
+    std::uint32_t icount;
+    std::uint32_t rotatedTid;
+    ThreadId tid;
+
+    bool
+    operator<(const RankEntry &o) const
+    {
+        if (group != o.group)
+            return group < o.group;
+        if (icount != o.icount)
+            return icount < o.icount;
+        return rotatedTid < o.rotatedTid;
+    }
+};
+
+} // namespace
+
+std::vector<ThreadId>
+rankFetchThreads(FetchPolicyKind kind,
+                 const std::vector<FetchThreadState> &threads,
+                 std::uint64_t rotation)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(threads.size());
+    std::vector<RankEntry> entries;
+    entries.reserve(n);
+
+    // Fetch-stall keeps at least one thread eligible: when every
+    // fetchable thread has a long-latency miss, the gate is ignored.
+    bool all_have_l2_miss = true;
+    for (const auto &t : threads) {
+        if (t.fetchable && t.pendingL2Misses == 0)
+            all_have_l2_miss = false;
+    }
+
+    for (const auto &t : threads) {
+        if (!t.fetchable)
+            continue;
+
+        int group = 0;
+        switch (kind) {
+          case FetchPolicyKind::RoundRobin:
+            break;
+          case FetchPolicyKind::Icount:
+            break;
+          case FetchPolicyKind::FetchStall:
+            if (t.pendingL2Misses > 0 && !all_have_l2_miss)
+                continue;  // gated out entirely
+            break;
+          case FetchPolicyKind::Dg:
+            if (t.pendingDataMisses > 0)
+                continue;  // gated out, even if nobody else can fetch
+            break;
+          case FetchPolicyKind::DWarn:
+            group = t.pendingDataMisses > 0 ? 1 : 0;
+            break;
+        }
+
+        RankEntry e;
+        e.group = group;
+        e.icount =
+            kind == FetchPolicyKind::RoundRobin ? 0 : t.frontEndCount;
+        e.rotatedTid =
+            static_cast<std::uint32_t>((t.tid + n - (rotation % n)) % n);
+        e.tid = t.tid;
+        entries.push_back(e);
+    }
+
+    std::sort(entries.begin(), entries.end());
+
+    std::vector<ThreadId> order;
+    order.reserve(entries.size());
+    for (const auto &e : entries)
+        order.push_back(e.tid);
+    return order;
+}
+
+} // namespace smtdram

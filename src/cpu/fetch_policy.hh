@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SMT instruction fetch policies (Section 5.1).
+ *
+ *  - RoundRobin: baseline rotation, no feedback;
+ *  - ICOUNT [29]: fewest instructions in the front end + issue
+ *    queues first;
+ *  - FetchStall [28]: stop fetching from threads with outstanding
+ *    misses beyond the L2, but always keep at least one thread
+ *    fetching; ICOUNT order otherwise;
+ *  - DG [7]: gate threads with outstanding data-cache misses
+ *    entirely; ICOUNT among the rest;
+ *  - DWarn [3]: threads with outstanding data-cache misses form a
+ *    lower-priority group; ICOUNT within each group.
+ *
+ * The policy ranks the fetchable threads each cycle; the core then
+ * takes up to `fetchThreadsPerCycle` of them in order.
+ */
+
+#ifndef SMTDRAM_CPU_FETCH_POLICY_HH
+#define SMTDRAM_CPU_FETCH_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smtdram
+{
+
+/** Identifiers for the built-in fetch policies. */
+enum class FetchPolicyKind : std::uint8_t {
+    RoundRobin,
+    Icount,
+    FetchStall,
+    Dg,
+    DWarn,
+};
+
+/** Policies in the order of the paper's Figure 2. */
+const std::vector<FetchPolicyKind> &allFetchPolicyKinds();
+
+std::string fetchPolicyName(FetchPolicyKind kind);
+
+/** Parse a policy name (case-insensitive); fatal()s on garbage. */
+FetchPolicyKind fetchPolicyFromName(const std::string &name);
+
+/** Per-thread inputs to the fetch decision, gathered by the core. */
+struct FetchThreadState {
+    ThreadId tid = 0;
+    bool fetchable = false;       ///< queue room, no I-miss, no gate
+    std::uint32_t frontEndCount = 0;  ///< ICOUNT key
+    std::uint32_t pendingDataMisses = 0;   ///< DG / DWarn input
+    std::uint32_t pendingL2Misses = 0;     ///< Fetch-stall input
+};
+
+/**
+ * Rank the threads for this fetch cycle.
+ *
+ * @param kind policy to apply.
+ * @param threads per-thread state (one entry per hardware thread).
+ * @param rotation round-robin tie-break seed (advances every cycle).
+ * @return thread ids in fetch-priority order; threads the policy
+ *         gates out are absent.
+ */
+std::vector<ThreadId> rankFetchThreads(
+    FetchPolicyKind kind, const std::vector<FetchThreadState> &threads,
+    std::uint64_t rotation);
+
+} // namespace smtdram
+
+#endif // SMTDRAM_CPU_FETCH_POLICY_HH

@@ -1,0 +1,524 @@
+#include "cpu/smt_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+void
+CoreConfig::validate() const
+{
+    fatal_if(numThreads == 0, "need at least one hardware thread");
+    fatal_if(fetchThreadsPerCycle == 0 || fetchWidth == 0,
+             "fetch width parameters must be non-zero");
+    fatal_if(robPerThread == 0 || !isPowerOfTwo(robPerThread),
+             "ROB size per thread must be a power of 2");
+    // Dependency distances are 8-bit, so a producer is always still
+    // inside the ring when its consumer enters.
+    fatal_if(robPerThread < 256,
+             "ROB per thread must be at least 256 to cover 8-bit "
+             "dependency distances");
+    fatal_if(intRegs <= archRegsPerThread * numThreads ||
+                 fpRegs <= archRegsPerThread * numThreads,
+             "physical registers do not cover architectural state "
+             "of %u threads", numThreads);
+}
+
+SmtCore::SmtCore(const CoreConfig &config, Hierarchy &hierarchy)
+    : config_(config),
+      hierarchy_(hierarchy),
+      predictor_(BranchPredictorConfig{}, config.numThreads),
+      threads_(config.numThreads),
+      perf_(config.numThreads),
+      intIqOcc_(config.numThreads, 0),
+      fpIqOcc_(config.numThreads, 0),
+      robOcc_(config.numThreads, 0),
+      freeIntRegs_(config.intRegs -
+                   config.archRegsPerThread * config.numThreads),
+      freeFpRegs_(config.fpRegs -
+                  config.archRegsPerThread * config.numThreads)
+{
+    config_.validate();
+    for (auto &t : threads_)
+        t.rob.resize(config_.robPerThread);
+    intIq_.reserve(config_.intIqSize);
+    fpIq_.reserve(config_.fpIqSize);
+
+    hierarchy_.setMissCallback(
+        [this](std::uint64_t miss_id, Cycle when) {
+            onMissComplete(miss_id, when);
+        });
+    hierarchy_.setSnapshotProvider(
+        [this](ThreadId tid) { return snapshot(tid); });
+}
+
+void
+SmtCore::bindStream(ThreadId tid, InstStream *stream)
+{
+    panic_if(tid >= threads_.size(), "thread %u out of range", tid);
+    threads_[tid].stream = stream;
+}
+
+ThreadSnapshot
+SmtCore::snapshot(ThreadId tid) const
+{
+    ThreadSnapshot s;
+    s.outstandingRequests = hierarchy_.pendingDramReads(tid);
+    s.robOccupancy = robOcc_[tid];
+    s.iqOccupancy = intIqOcc_[tid];
+    return s;
+}
+
+SmtCore::DynInst &
+SmtCore::robSlot(ThreadId tid, InstSeq seq)
+{
+    return threads_[tid].rob[seq & (config_.robPerThread - 1)];
+}
+
+const SmtCore::DynInst &
+SmtCore::robSlot(ThreadId tid, InstSeq seq) const
+{
+    return threads_[tid].rob[seq & (config_.robPerThread - 1)];
+}
+
+bool
+SmtCore::producerReady(ThreadId tid, InstSeq seq,
+                       std::uint8_t dist) const
+{
+    if (dist == 0)
+        return true;
+    if (static_cast<InstSeq>(dist) > seq)
+        return true;  // producer precedes the measured stream
+    const InstSeq pseq = seq - dist;
+    if (pseq < threads_[tid].robHead)
+        return true;  // producer already committed
+    const DynInst &p = robSlot(tid, pseq);
+    panic_if(p.seq != pseq, "ROB ring corrupted (seq %llu vs %llu)",
+             (unsigned long long)p.seq, (unsigned long long)pseq);
+    if (!producesValue(p.op.cls))
+        return true;
+    return p.state == DynInst::State::Completed;
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+void
+SmtCore::commitStage(Cycle now)
+{
+    (void)now;
+    std::uint32_t budget = config_.commitWidth;
+    const std::uint32_t n = config_.numThreads;
+    const std::uint64_t start = commitRotation_++;
+
+    for (std::uint32_t i = 0; i < n && budget > 0; ++i) {
+        const ThreadId tid = static_cast<ThreadId>((start + i) % n);
+        ThreadState &t = threads_[tid];
+        while (budget > 0 && t.robHead < t.robTail) {
+            DynInst &slot = robSlot(tid, t.robHead);
+            panic_if(slot.seq != t.robHead, "commit ring mismatch");
+            if (slot.state != DynInst::State::Completed)
+                break;
+            if (slot.op.cls == OpClass::Store) {
+                if (writeBuffer_.size() >= config_.writeBufferCap)
+                    break;  // this thread's commit stalls
+                writeBuffer_.push_back(
+                    PendingStore{tid, slot.op.effAddr});
+            }
+            if (producesValue(slot.op.cls)) {
+                if (slot.isFp)
+                    ++freeFpRegs_;
+                else
+                    ++freeIntRegs_;
+            }
+            if (slot.op.cls == OpClass::Load) {
+                panic_if(lqUsed_ == 0, "LQ underflow");
+                --lqUsed_;
+            }
+            if (slot.op.cls == OpClass::Store) {
+                panic_if(sqUsed_ == 0, "SQ underflow");
+                --sqUsed_;
+            }
+            slot.state = DynInst::State::Empty;
+            panic_if(robOcc_[tid] == 0, "ROB occupancy underflow");
+            --robOcc_[tid];
+            ++t.robHead;
+            ++perf_[tid].committedInsts;
+            --budget;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Complete
+// --------------------------------------------------------------------
+
+void
+SmtCore::markCompleted(ThreadId tid, InstSeq seq, Cycle now)
+{
+    ThreadState &t = threads_[tid];
+    if (seq < t.robHead)
+        return;  // already committed (should not happen)
+    DynInst &slot = robSlot(tid, seq);
+    if (slot.seq != seq || slot.state == DynInst::State::Completed ||
+        slot.state == DynInst::State::Empty) {
+        return;
+    }
+    slot.state = DynInst::State::Completed;
+
+    if (slot.mispredicted && t.awaitingBranch &&
+        t.awaitedBranchSeq == seq) {
+        // Redirect: fetch restarts after the fixed front-end penalty.
+        t.awaitingBranch = false;
+        t.fetchResumeAt = now + config_.mispredictPenalty;
+    }
+}
+
+void
+SmtCore::completeStage(Cycle now)
+{
+    while (!completions_.empty() && completions_.top().when <= now) {
+        const Completion c = completions_.top();
+        completions_.pop();
+        markCompleted(c.tid, c.seq, now);
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue
+// --------------------------------------------------------------------
+
+void
+SmtCore::issueStage(Cycle now)
+{
+    std::uint32_t alu = config_.intAluUnits;
+    std::uint32_t mult = config_.intMultUnits;
+    std::uint32_t ports = config_.cachePorts;
+    std::uint32_t int_budget = config_.intIssueWidth;
+    std::uint32_t issued_int = 0;
+
+    auto issue_from = [&](std::vector<IqRef> &iq, bool is_fp,
+                          std::uint32_t &budget,
+                          std::uint32_t &fu_a, std::uint32_t &fu_b) {
+        size_t keep = 0;
+        for (size_t i = 0; i < iq.size(); ++i) {
+            IqRef ref = iq[i];
+            bool issued = false;
+            if (budget > 0) {
+                DynInst &slot = robSlot(ref.tid, ref.seq);
+                panic_if(slot.seq != ref.seq, "IQ ring mismatch");
+                panic_if(slot.state != DynInst::State::Waiting,
+                         "non-waiting inst in IQ");
+                const bool deps_ok =
+                    producerReady(ref.tid, ref.seq, slot.op.dep1) &&
+                    producerReady(ref.tid, ref.seq, slot.op.dep2);
+                if (deps_ok) {
+                    const OpClass cls = slot.op.cls;
+                    std::uint32_t *fu = nullptr;
+                    bool needs_port = false;
+                    if (is_fp) {
+                        fu = (cls == OpClass::FpAlu) ? &fu_a : &fu_b;
+                    } else if (cls == OpClass::IntMult) {
+                        fu = &fu_b;
+                    } else {
+                        fu = &fu_a;
+                        needs_port = cls == OpClass::Load;
+                    }
+                    if (*fu > 0 && (!needs_port || ports > 0)) {
+                        if (cls == OpClass::Load) {
+                            AccessResult r = hierarchy_.access(
+                                AccessKind::Load, ref.tid,
+                                slot.op.effAddr, now);
+                            if (r.status ==
+                                AccessResult::Status::Blocked) {
+                                // Structural hazard: replay later.
+                                iq[keep++] = ref;
+                                continue;
+                            }
+                            --ports;
+                            if (r.status ==
+                                AccessResult::Status::Hit) {
+                                completions_.push(Completion{
+                                    now + execLatency(cls) + r.latency,
+                                    ref.tid, ref.seq});
+                            } else {
+                                missWaiters_[r.missId] =
+                                    MissWaiter{ref.tid, ref.seq,
+                                               false};
+                            }
+                            ++perf_[ref.tid].loads;
+                        } else {
+                            completions_.push(Completion{
+                                now + execLatency(cls), ref.tid,
+                                ref.seq});
+                            if (cls == OpClass::Store)
+                                ++perf_[ref.tid].stores;
+                        }
+                        --*fu;
+                        --budget;
+                        slot.state = DynInst::State::Issued;
+                        slot.dispatchedAt = now;
+                        if (is_fp) {
+                            --fpIqOcc_[ref.tid];
+                        } else {
+                            --intIqOcc_[ref.tid];
+                            ++issued_int;
+                        }
+                        issued = true;
+                    }
+                }
+            }
+            if (!issued)
+                iq[keep++] = ref;
+        }
+        iq.resize(keep);
+    };
+
+    issue_from(intIq_, false, int_budget, alu, mult);
+
+    std::uint32_t fp_budget = config_.fpIssueWidth;
+    std::uint32_t fp_alu = config_.fpAluUnits;
+    std::uint32_t fp_mult = config_.fpMultUnits;
+    issue_from(fpIq_, true, fp_budget, fp_alu, fp_mult);
+
+    if (issued_int > 0)
+        ++intIssueActiveCycles_;
+}
+
+// --------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------
+
+void
+SmtCore::dispatchStage(Cycle now)
+{
+    std::uint32_t budget = config_.dispatchWidth;
+    const std::uint32_t n = config_.numThreads;
+    const std::uint64_t start = dispatchRotation_++;
+
+    bool progress = true;
+    std::vector<bool> stalled(n, false);
+    while (budget > 0 && progress) {
+        progress = false;
+        for (std::uint32_t i = 0; i < n && budget > 0; ++i) {
+            const ThreadId tid = static_cast<ThreadId>((start + i) % n);
+            if (stalled[tid])
+                continue;
+            ThreadState &t = threads_[tid];
+            if (t.fetchQueue.empty() ||
+                t.fetchQueue.front().readyAt > now) {
+                stalled[tid] = true;
+                continue;
+            }
+            const FetchedInst &f = t.fetchQueue.front();
+            const bool is_fp = isFpClass(f.op.cls);
+
+            // Structural checks: ROB, IQ, registers, LSQ.
+            if (t.robTail - t.robHead >= config_.robPerThread ||
+                (is_fp ? fpIq_.size() >= config_.fpIqSize
+                       : intIq_.size() >= config_.intIqSize) ||
+                (producesValue(f.op.cls) &&
+                 (is_fp ? freeFpRegs_ == 0 : freeIntRegs_ == 0)) ||
+                (f.op.cls == OpClass::Load && lqUsed_ >= config_.lqSize) ||
+                (f.op.cls == OpClass::Store &&
+                 sqUsed_ >= config_.sqSize)) {
+                stalled[tid] = true;
+                continue;
+            }
+
+            panic_if(f.seq != t.robTail, "dispatch out of order");
+            DynInst &slot = robSlot(tid, f.seq);
+            slot.op = f.op;
+            slot.seq = f.seq;
+            slot.state = DynInst::State::Waiting;
+            slot.mispredicted = f.mispredicted;
+            slot.isFp = is_fp;
+            slot.dispatchedAt = now;
+
+            if (producesValue(f.op.cls)) {
+                if (is_fp)
+                    --freeFpRegs_;
+                else
+                    --freeIntRegs_;
+            }
+            if (f.op.cls == OpClass::Load)
+                ++lqUsed_;
+            if (f.op.cls == OpClass::Store)
+                ++sqUsed_;
+
+            if (is_fp) {
+                fpIq_.push_back(IqRef{tid, f.seq});
+                ++fpIqOcc_[tid];
+            } else {
+                intIq_.push_back(IqRef{tid, f.seq});
+                ++intIqOcc_[tid];
+            }
+            ++robOcc_[tid];
+            ++t.robTail;
+            t.fetchQueue.pop_front();
+            --budget;
+            progress = true;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+std::uint32_t
+SmtCore::fetchFromThread(ThreadId tid, std::uint32_t budget, Cycle now)
+{
+    ThreadState &t = threads_[tid];
+    std::uint32_t count = 0;
+
+    while (count < budget && t.fetchQueue.size() < config_.fetchQueueCap) {
+        MicroOp op;
+        if (t.stashedOpValid) {
+            op = t.stashedOp;
+            t.stashedOpValid = false;
+        } else {
+            op = t.stream->next();
+        }
+
+        const Addr line =
+            op.pc & ~static_cast<Addr>(
+                        hierarchy_.config().l1i.lineBytes - 1);
+        if (line != t.lastFetchLine) {
+            AccessResult r = hierarchy_.access(AccessKind::InstFetch,
+                                               tid, op.pc, now);
+            if (r.status == AccessResult::Status::Blocked) {
+                t.stashedOp = op;
+                t.stashedOpValid = true;
+                break;
+            }
+            t.lastFetchLine = line;
+            if (r.status == AccessResult::Status::Pending) {
+                t.icacheBlocked = true;
+                missWaiters_[r.missId] = MissWaiter{tid, 0, true};
+            }
+        }
+
+        FetchedInst f;
+        f.op = op;
+        f.seq = t.nextSeq++;
+        f.readyAt = now + config_.decodeStages;
+        f.mispredicted = false;
+
+        if (op.cls == OpClass::Branch) {
+            const BranchPrediction pred = predictor_.predict(tid, op);
+            const bool correct = predictor_.update(tid, op, pred);
+            f.mispredicted = !correct;
+            ++perf_[tid].branches;
+            if (!correct)
+                ++perf_[tid].mispredicts;
+        }
+
+        t.fetchQueue.push_back(f);
+        ++perf_[tid].fetchedInsts;
+        ++count;
+
+        if (op.cls == OpClass::Branch) {
+            if (f.mispredicted) {
+                // Fetch freezes until the branch resolves.
+                t.awaitingBranch = true;
+                t.awaitedBranchSeq = f.seq;
+                break;
+            }
+            if (op.taken) {
+                // A taken branch ends this thread's fetch group and
+                // redirects the fetch line.
+                t.lastFetchLine = kAddrInvalid;
+                break;
+            }
+        }
+        if (t.icacheBlocked)
+            break;
+    }
+    return count;
+}
+
+void
+SmtCore::fetchStage(Cycle now)
+{
+    const std::uint32_t n = config_.numThreads;
+    std::vector<FetchThreadState> states(n);
+    for (ThreadId tid = 0; tid < n; ++tid) {
+        const ThreadState &t = threads_[tid];
+        FetchThreadState &s = states[tid];
+        s.tid = tid;
+        s.fetchable = t.stream != nullptr && !t.icacheBlocked &&
+                      !t.awaitingBranch && now >= t.fetchResumeAt &&
+                      t.fetchQueue.size() < config_.fetchQueueCap;
+        s.frontEndCount = static_cast<std::uint32_t>(
+            t.fetchQueue.size() + intIqOcc_[tid] + fpIqOcc_[tid]);
+        s.pendingDataMisses = hierarchy_.pendingDataMisses(tid);
+        s.pendingL2Misses = hierarchy_.pendingL2Misses(tid);
+    }
+
+    const std::vector<ThreadId> order =
+        rankFetchThreads(config_.fetchPolicy, states, fetchRotation_++);
+
+    std::uint32_t budget = config_.fetchWidth;
+    std::uint32_t threads_used = 0;
+    for (ThreadId tid : order) {
+        if (budget == 0 || threads_used >= config_.fetchThreadsPerCycle)
+            break;
+        const std::uint32_t got = fetchFromThread(tid, budget, now);
+        if (got > 0) {
+            budget -= got;
+            ++threads_used;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Write buffer
+// --------------------------------------------------------------------
+
+void
+SmtCore::drainWriteBuffer(Cycle now)
+{
+    if (writeBuffer_.empty())
+        return;
+    const PendingStore &s = writeBuffer_.front();
+    const AccessResult r =
+        hierarchy_.access(AccessKind::Store, s.tid, s.vaddr, now);
+    if (r.status == AccessResult::Status::Blocked)
+        return;  // retry next cycle
+    // Hit: written.  Pending: the fill installs the line dirty.
+    writeBuffer_.pop_front();
+}
+
+// --------------------------------------------------------------------
+
+void
+SmtCore::onMissComplete(std::uint64_t miss_id, Cycle when)
+{
+    auto it = missWaiters_.find(miss_id);
+    if (it == missWaiters_.end())
+        return;  // e.g. a store fill nobody waits on
+    const MissWaiter w = it->second;
+    missWaiters_.erase(it);
+    if (w.isFetch)
+        threads_[w.tid].icacheBlocked = false;
+    else
+        markCompleted(w.tid, w.seq, when);
+}
+
+void
+SmtCore::cycle(Cycle now)
+{
+    ++cyclesRun_;
+    commitStage(now);
+    completeStage(now);
+    issueStage(now);
+    dispatchStage(now);
+    fetchStage(now);
+    drainWriteBuffer(now);
+}
+
+} // namespace smtdram

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The simultaneous-multithreading out-of-order core.
+ *
+ * Structure follows the extended Sim-Alpha model of Section 4.1:
+ * every active thread has its own PC, fetch buffer, ROB, and return
+ * stack; threads share fetch/dispatch/issue/commit bandwidth, the
+ * issue queues, physical registers, LSQ, functional units, and the
+ * whole cache hierarchy.
+ *
+ * Stage order inside cycle():
+ *   commit -> complete -> issue -> dispatch -> fetch
+ * so an instruction spends at least one cycle in each structure.
+ *
+ * Branch handling uses the standard stream-driven simplification:
+ * mispredicted branches stall their thread's fetch until the branch
+ * resolves plus the 9-cycle redirect penalty, instead of fetching a
+ * wrong path that a synthetic stream cannot supply.  The cost model
+ * (lost fetch slots proportional to resolution depth) matches the
+ * squash-based one.
+ */
+
+#ifndef SMTDRAM_CPU_SMT_CORE_HH
+#define SMTDRAM_CPU_SMT_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/cpu_config.hh"
+#include "cpu/fetch_policy.hh"
+#include "cpu/instruction.hh"
+
+namespace smtdram
+{
+
+/** Aggregated per-thread performance counters. */
+struct ThreadPerf {
+    std::uint64_t committedInsts = 0;
+    std::uint64_t fetchedInsts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+};
+
+/** The SMT processor core. */
+class SmtCore
+{
+  public:
+    SmtCore(const CoreConfig &config, Hierarchy &hierarchy);
+
+    /** Attach thread @p tid's instruction source (not owned). */
+    void bindStream(ThreadId tid, InstStream *stream);
+
+    /** Simulate one cycle at time @p now. */
+    void cycle(Cycle now);
+
+    const CoreConfig &config() const { return config_; }
+
+    const ThreadPerf &perf(ThreadId tid) const { return perf_[tid]; }
+
+    /** ROB entries currently held by @p tid. */
+    std::uint32_t
+    robOccupancy(ThreadId tid) const
+    {
+        return robOcc_[tid];
+    }
+
+    /** Integer issue-queue entries currently held by @p tid. */
+    std::uint32_t
+    intIqOccupancy(ThreadId tid) const
+    {
+        return intIqOcc_[tid];
+    }
+
+    /** Thread state piggybacked on DRAM requests (Section 3). */
+    ThreadSnapshot snapshot(ThreadId tid) const;
+
+    const BranchPredictor &predictor() const { return predictor_; }
+
+    /** Cycles in which at least one integer instruction issued. */
+    std::uint64_t intIssueActiveCycles() const
+    {
+        return intIssueActiveCycles_;
+    }
+
+    std::uint64_t cyclesRun() const { return cyclesRun_; }
+
+  private:
+    // ------------------------------------------------------------------
+    /** A fetched instruction waiting in the decode pipe. */
+    struct FetchedInst {
+        MicroOp op;
+        InstSeq seq = 0;
+        Cycle readyAt = 0;        ///< earliest dispatch cycle
+        bool mispredicted = false;
+    };
+
+    /** In-flight instruction state (ROB slot). */
+    struct DynInst {
+        MicroOp op;
+        InstSeq seq = 0;
+        enum class State : std::uint8_t {
+            Empty,
+            Waiting,   ///< in the issue queue
+            Issued,    ///< executing / waiting on memory
+            Completed,
+        };
+        State state = State::Empty;
+        bool mispredicted = false;
+        bool isFp = false;
+        Cycle dispatchedAt = 0;
+    };
+
+    /** Per-thread architectural state. */
+    struct ThreadState {
+        InstStream *stream = nullptr;
+        std::deque<FetchedInst> fetchQueue;
+        InstSeq nextSeq = 0;      ///< next fetch sequence number
+        InstSeq robHead = 0;      ///< oldest in-flight seq
+        InstSeq robTail = 0;      ///< next seq to dispatch
+        std::vector<DynInst> rob; ///< ring buffer, robPerThread slots
+
+        /** Fetch gates. */
+        bool icacheBlocked = false;
+        Cycle fetchResumeAt = 0;
+        /** Set when fetch stalled behind an unresolved mispredict. */
+        bool awaitingBranch = false;
+        InstSeq awaitedBranchSeq = 0;
+        /** Last I-cache line fetched (avoid re-probing per inst). */
+        Addr lastFetchLine = kAddrInvalid;
+        /** Op generated but not fetched due to a structural stall. */
+        MicroOp stashedOp;
+        bool stashedOpValid = false;
+    };
+
+    // --- pipeline stages ---------------------------------------------
+    void commitStage(Cycle now);
+    void completeStage(Cycle now);
+    void issueStage(Cycle now);
+    void dispatchStage(Cycle now);
+    void fetchStage(Cycle now);
+    void drainWriteBuffer(Cycle now);
+
+    /** Fetch up to @p budget instructions from thread @p tid. */
+    std::uint32_t fetchFromThread(ThreadId tid, std::uint32_t budget,
+                                  Cycle now);
+
+    DynInst &robSlot(ThreadId tid, InstSeq seq);
+    const DynInst &robSlot(ThreadId tid, InstSeq seq) const;
+
+    /** True once the producer at distance @p dist has its value. */
+    bool producerReady(ThreadId tid, InstSeq seq,
+                       std::uint8_t dist) const;
+
+    void markCompleted(ThreadId tid, InstSeq seq, Cycle now);
+
+    void onMissComplete(std::uint64_t miss_id, Cycle when);
+
+    // ------------------------------------------------------------------
+    CoreConfig config_;
+    Hierarchy &hierarchy_;
+    BranchPredictor predictor_;
+
+    std::vector<ThreadState> threads_;
+    std::vector<ThreadPerf> perf_;
+
+    /** Issue queues: (tid, seq) refs in age order. */
+    struct IqRef {
+        ThreadId tid;
+        InstSeq seq;
+    };
+    std::vector<IqRef> intIq_;
+    std::vector<IqRef> fpIq_;
+    std::vector<std::uint32_t> intIqOcc_;
+    std::vector<std::uint32_t> fpIqOcc_;
+    std::vector<std::uint32_t> robOcc_;
+
+    std::uint32_t freeIntRegs_;
+    std::uint32_t freeFpRegs_;
+    std::uint32_t lqUsed_ = 0;
+    std::uint32_t sqUsed_ = 0;
+
+    /** FU completion events: (cycle, tid, seq). */
+    struct Completion {
+        Cycle when;
+        ThreadId tid;
+        InstSeq seq;
+
+        bool
+        operator>(const Completion &o) const
+        {
+            return when > o.when;
+        }
+    };
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<>>
+        completions_;
+
+    /** Outstanding load / I-fetch cache misses keyed by miss id. */
+    struct MissWaiter {
+        ThreadId tid;
+        InstSeq seq;
+        bool isFetch;
+    };
+    std::unordered_map<std::uint64_t, MissWaiter> missWaiters_;
+
+    /** Retired stores on their way to the L1D. */
+    struct PendingStore {
+        ThreadId tid;
+        Addr vaddr;
+    };
+    std::deque<PendingStore> writeBuffer_;
+
+    std::uint64_t fetchRotation_ = 0;
+    std::uint64_t commitRotation_ = 0;
+    std::uint64_t dispatchRotation_ = 0;
+    std::uint64_t cyclesRun_ = 0;
+    std::uint64_t intIssueActiveCycles_ = 0;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_CPU_SMT_CORE_HH

@@ -1,0 +1,55 @@
+#include "dram/address_mapping.hh"
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+AddressMapping::AddressMapping(const DramConfig &config)
+    : channels_(config.logicalChannels()),
+      banks_(config.banksPerChannel()),
+      bankMask_(banks_ - 1),
+      linesPerRow_(config.effectiveRowBytes() / config.lineBytes),
+      lineShift_(floorLog2(config.lineBytes)),
+      scheme_(config.mapping),
+      interleave_(config.channelInterleave)
+{
+    panic_if(!isPowerOfTwo(banks_), "bank count must be a power of 2");
+    panic_if(linesPerRow_ == 0, "row smaller than a line");
+}
+
+DramCoord
+AddressMapping::map(Addr addr) const
+{
+    const Addr line = addr >> lineShift_;
+
+    DramCoord c;
+    Addr page;
+    if (interleave_ == ChannelInterleave::Line) {
+        // Consecutive lines alternate channels; within a channel,
+        // consecutive lines fill a row.
+        c.channel = static_cast<std::uint32_t>(line % channels_);
+        const Addr in_channel = line / channels_;
+        c.column =
+            static_cast<std::uint32_t>(in_channel % linesPerRow_);
+        page = in_channel / linesPerRow_;
+    } else {
+        // A whole DRAM page lives in one channel; pages round-robin
+        // across channels.
+        c.column = static_cast<std::uint32_t>(line % linesPerRow_);
+        const Addr global_page = line / linesPerRow_;
+        c.channel = static_cast<std::uint32_t>(global_page % channels_);
+        page = global_page / channels_;
+    }
+
+    c.row = static_cast<std::uint32_t>(page / banks_);
+
+    std::uint32_t bank = static_cast<std::uint32_t>(page & bankMask_);
+    if (scheme_ == MappingScheme::XorPermute)
+        bank ^= c.row & bankMask_;
+    c.bank = bank;
+
+    return c;
+}
+
+} // namespace smtdram

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate decomposition.
+ *
+ * Lines are interleaved across logical channels at cache-line
+ * granularity; within a channel, consecutive lines fill a row and
+ * rows are assigned to banks either round-robin ("page" mapping) or
+ * through the permutation-based XOR scheme of Zhang et al. [33],
+ * which XORs the bank index with the low row bits so that rows that
+ * collide in the page scheme spread over different banks.
+ */
+
+#ifndef SMTDRAM_DRAM_ADDRESS_MAPPING_HH
+#define SMTDRAM_DRAM_ADDRESS_MAPPING_HH
+
+#include "dram/dram_config.hh"
+#include "dram/dram_types.hh"
+
+namespace smtdram
+{
+
+/** Stateless mapper from physical addresses to DRAM coordinates. */
+class AddressMapping
+{
+  public:
+    explicit AddressMapping(const DramConfig &config);
+
+    /** Decompose physical address @p addr. */
+    DramCoord map(Addr addr) const;
+
+    std::uint32_t logicalChannels() const { return channels_; }
+    std::uint32_t banksPerChannel() const { return banks_; }
+    std::uint32_t linesPerRow() const { return linesPerRow_; }
+
+  private:
+    std::uint32_t channels_;
+    std::uint32_t banks_;
+    std::uint32_t bankMask_;
+    std::uint32_t linesPerRow_;
+    unsigned lineShift_;
+    MappingScheme scheme_;
+    ChannelInterleave interleave_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_ADDRESS_MAPPING_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Per-bank row-buffer state.
+ *
+ * The controller runs a transaction-level timing model: each bank
+ * records which row its sense amplifiers currently hold and the cycle
+ * at which it can accept the next transaction.  Cross-bank overlap
+ * falls out naturally because only the shared data bus serializes.
+ */
+
+#ifndef SMTDRAM_DRAM_BANK_HH
+#define SMTDRAM_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace smtdram
+{
+
+/** State of one DRAM bank. */
+struct Bank {
+    /** Row held in the row buffer, or kNoRow when precharged. */
+    static constexpr std::int64_t kNoRow = -1;
+    std::int64_t openRow = kNoRow;
+    /** Cycle at which the bank can start its next transaction. */
+    Cycle readyAt = 0;
+
+    bool
+    rowHit(std::uint32_t row) const
+    {
+        return openRow == static_cast<std::int64_t>(row);
+    }
+
+    bool idle() const { return openRow == kNoRow; }
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_BANK_HH

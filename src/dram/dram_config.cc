@@ -1,0 +1,74 @@
+#include "dram/dram_config.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+void
+DramConfig::validate() const
+{
+    fatal_if(physicalChannels == 0, "need at least one memory channel");
+    fatal_if(gangDegree == 0 || physicalChannels % gangDegree != 0,
+             "gang degree %u does not divide %u physical channels",
+             gangDegree, physicalChannels);
+    fatal_if(!isPowerOfTwo(lineBytes), "line size must be a power of 2");
+    fatal_if(!isPowerOfTwo(rowBytes) || rowBytes < lineBytes,
+             "row size must be a power of 2 and >= line size");
+    fatal_if(!isPowerOfTwo(banksPerChannel()),
+             "banks per channel must be a power of 2 (got %u)",
+             banksPerChannel());
+    fatal_if(effectiveRowBytes() / lineBytes == 0,
+             "row holds no full line");
+    fatal_if(gangDegree * timing.transferBytes > lineBytes,
+             "ganging %u channels moves more than one line per "
+             "transfer; the paper stops at line-width ganging",
+             gangDegree);
+    fatal_if(writeLowWatermark > writeHighWatermark,
+             "write drain watermarks inverted");
+}
+
+std::string
+DramConfig::label() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%uC-%uG", physicalChannels,
+                  gangDegree);
+    return buf;
+}
+
+DramConfig
+DramConfig::ddrSdram(std::uint32_t physical_channels,
+                     std::uint32_t gang_degree)
+{
+    DramConfig c;
+    c.physicalChannels = physical_channels;
+    c.gangDegree = gang_degree;
+    c.chipsPerChannel = 1;
+    c.banksPerChip = 4;
+    c.rowBytes = 4096;
+    c.timing.megaTransfersPerSec = 400.0;  // 200 MHz double data rate
+    c.timing.transferBytes = 16;
+    c.validate();
+    return c;
+}
+
+DramConfig
+DramConfig::directRambus(std::uint32_t physical_channels,
+                         std::uint32_t chips_per_channel)
+{
+    DramConfig c;
+    c.physicalChannels = physical_channels;
+    c.gangDegree = 1;
+    c.chipsPerChannel = chips_per_channel;
+    c.banksPerChip = 32;
+    c.rowBytes = 2048;
+    c.timing.megaTransfersPerSec = 800.0;  // 400 MHz double data rate
+    c.timing.transferBytes = 2;
+    c.validate();
+    return c;
+}
+
+} // namespace smtdram

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Timing and organization parameters of the simulated DRAM system,
+ * with presets matching Table 1 of the paper.
+ */
+
+#ifndef SMTDRAM_DRAM_DRAM_CONFIG_HH
+#define SMTDRAM_DRAM_DRAM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace smtdram
+{
+
+/** Row-buffer management policy (Section 2, "page modes"). */
+enum class PageMode : std::uint8_t {
+    Open,  ///< keep the row open after a column access
+    Close, ///< precharge immediately after a column access
+};
+
+/** DRAM address mapping scheme (Section 5.4). */
+enum class MappingScheme : std::uint8_t {
+    PageInterleave, ///< pages assigned to banks round-robin
+    XorPermute,     ///< bank index XORed with low row bits [33, 8]
+};
+
+/** Granularity at which addresses interleave across channels. */
+enum class ChannelInterleave : std::uint8_t {
+    Line, ///< consecutive cache lines alternate channels (bandwidth)
+    Page, ///< a whole DRAM page lives in one channel (locality)
+};
+
+/**
+ * DRAM device/bus timing in processor cycles.
+ *
+ * Table 1: 15 ns row access, 15 ns column access, 15 ns precharge at
+ * a 3 GHz core clock = 45 cycles each.
+ */
+struct DramTiming {
+    Cycle rowAccess = 45;     ///< tRCD: activate to column command
+    Cycle columnAccess = 45;  ///< CAS latency
+    Cycle precharge = 45;     ///< tRP
+    /** Fixed controller + interconnect overhead per direction. */
+    Cycle controllerOverhead = 10;
+    /** Peak transfer rate of one physical channel, mega-transfers/s. */
+    double megaTransfersPerSec = 400.0;  // 200 MHz DDR
+    /** Bytes moved per transfer on one physical channel. */
+    std::uint32_t transferBytes = 16;
+    /** Core clock in MHz used to convert bus time to core cycles. */
+    double cpuMhz = 3000.0;
+
+    /**
+     * Core cycles the data bus of a logical channel (ganging degree
+     * @p gang) is occupied moving @p bytes.
+     */
+    Cycle
+    transferCycles(std::uint32_t bytes, std::uint32_t gang) const
+    {
+        const double bytes_per_transfer =
+            static_cast<double>(transferBytes) * gang;
+        const double transfers = bytes / bytes_per_transfer;
+        const double cycles_per_transfer = cpuMhz / megaTransfersPerSec;
+        const double c = transfers * cycles_per_transfer;
+        const auto whole = static_cast<Cycle>(c);
+        return (c > whole) ? whole + 1 : whole;
+    }
+};
+
+/**
+ * Full configuration of one DRAM memory system.
+ *
+ * Physical channels are grouped into logical channels of `gangDegree`
+ * physical channels each ("xC-yG" in the paper, Section 5.3): the
+ * ganged group moves one request with a proportionally wider bus, and
+ * its lock-stepped chips expose a proportionally wider row.
+ */
+struct DramConfig {
+    DramTiming timing;
+    std::uint32_t physicalChannels = 2;
+    std::uint32_t gangDegree = 1;
+    /** Independent chip groups (SDRAM ranks / RDRAM devices). */
+    std::uint32_t chipsPerChannel = 1;
+    std::uint32_t banksPerChip = 4;
+    /** Row-buffer bytes per bank on ONE physical channel. */
+    std::uint32_t rowBytes = 4096;
+    std::uint32_t lineBytes = 64;
+    PageMode pageMode = PageMode::Open;
+    MappingScheme mapping = MappingScheme::PageInterleave;
+    ChannelInterleave channelInterleave = ChannelInterleave::Line;
+    /** Per-logical-channel queue capacities. */
+    std::uint32_t readQueueCap = 64;
+    std::uint32_t writeQueueCap = 64;
+    /** Start draining writes when the queue reaches this depth. */
+    std::uint32_t writeHighWatermark = 16;
+    /** Stop draining once it falls back to this depth. */
+    std::uint32_t writeLowWatermark = 4;
+
+    std::uint32_t
+    logicalChannels() const
+    {
+        return physicalChannels / gangDegree;
+    }
+
+    std::uint32_t
+    banksPerChannel() const
+    {
+        return chipsPerChannel * banksPerChip;
+    }
+
+    /** Combined row width of a ganged (lock-stepped) group. */
+    std::uint32_t
+    effectiveRowBytes() const
+    {
+        return rowBytes * gangDegree;
+    }
+
+    Cycle
+    lineTransferCycles() const
+    {
+        return timing.transferCycles(lineBytes, gangDegree);
+    }
+
+    /** fatal()s if the parameters are inconsistent. */
+    void validate() const;
+
+    /** "xC-yG" label used in the paper's Figure 7. */
+    std::string label() const;
+
+    /**
+     * Multi-channel DDR SDRAM per Table 1: 200 MHz DDR, 16 B wide
+     * channels, 4 banks per chip group, one chip group per channel.
+     */
+    static DramConfig ddrSdram(std::uint32_t physical_channels,
+                               std::uint32_t gang_degree = 1);
+
+    /**
+     * Direct Rambus DRAM (Section 5.4): 800 MT/s, 2 B wide channel,
+     * 32 banks per chip, several chips per channel.
+     */
+    static DramConfig directRambus(std::uint32_t physical_channels,
+                                   std::uint32_t chips_per_channel = 4);
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_DRAM_CONFIG_HH

@@ -1,0 +1,176 @@
+#include "dram/dram_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+DramSystem::DramSystem(const DramConfig &config, SchedulerKind scheduler)
+    : config_(config), mapping_(config)
+{
+    config_.validate();
+    controllers_.reserve(config_.logicalChannels());
+    for (std::uint32_t c = 0; c < config_.logicalChannels(); ++c)
+        controllers_.emplace_back(config_, scheduler);
+}
+
+bool
+DramSystem::canAccept(Addr addr, MemOp op) const
+{
+    const DramCoord coord = mapping_.map(addr);
+    const MemoryController &mc = controllers_[coord.channel];
+    return op == MemOp::Read ? mc.canAcceptRead() : mc.canAcceptWrite();
+}
+
+std::uint64_t
+DramSystem::enqueueRead(Addr addr, ThreadId thread,
+                        const ThreadSnapshot &snap, Cycle now,
+                        bool critical)
+{
+    DramRequest req;
+    req.id = nextId_++;
+    req.op = MemOp::Read;
+    req.addr = addr;
+    req.thread = thread;
+    req.arrival = now;
+    req.snap = snap;
+    req.coord = mapping_.map(addr);
+    req.critical = critical;
+    if (thread != kThreadNone) {
+        if (thread >= perThreadOutstanding_.size())
+            perThreadOutstanding_.resize(thread + 1, 0);
+        ++perThreadOutstanding_[thread];
+    }
+    controllers_[req.coord.channel].enqueue(req);
+    return req.id;
+}
+
+std::uint64_t
+DramSystem::enqueueWrite(Addr addr, Cycle now)
+{
+    DramRequest req;
+    req.id = nextId_++;
+    req.op = MemOp::Write;
+    req.addr = addr;
+    req.thread = kThreadNone;
+    req.arrival = now;
+    req.coord = mapping_.map(addr);
+    controllers_[req.coord.channel].enqueue(req);
+    return req.id;
+}
+
+void
+DramSystem::tick(Cycle now)
+{
+    completedScratch_.clear();
+    for (auto &mc : controllers_)
+        mc.tick(now, completedScratch_);
+
+    if (completedScratch_.size() > 1) {
+        std::stable_sort(completedScratch_.begin(),
+                         completedScratch_.end(),
+                         [](const DramRequest &a, const DramRequest &b) {
+                             return a.completion < b.completion;
+                         });
+    }
+
+    for (const auto &req : completedScratch_) {
+        if (req.op != MemOp::Read)
+            continue;
+        if (req.thread != kThreadNone &&
+            req.thread < perThreadOutstanding_.size()) {
+            panic_if(perThreadOutstanding_[req.thread] == 0,
+                     "per-thread outstanding underflow");
+            --perThreadOutstanding_[req.thread];
+        }
+        if (readCallback_)
+            readCallback_(req);
+    }
+}
+
+bool
+DramSystem::busy() const
+{
+    for (const auto &mc : controllers_) {
+        if (mc.busy())
+            return true;
+    }
+    return false;
+}
+
+size_t
+DramSystem::outstandingRequests() const
+{
+    size_t n = 0;
+    for (const auto &mc : controllers_)
+        n += mc.outstanding();
+    return n;
+}
+
+std::uint32_t
+DramSystem::distinctThreadsOutstanding() const
+{
+    std::uint32_t n = 0;
+    for (auto c : perThreadOutstanding_) {
+        if (c > 0)
+            ++n;
+    }
+    return n;
+}
+
+std::uint32_t
+DramSystem::channels() const
+{
+    return static_cast<std::uint32_t>(controllers_.size());
+}
+
+const ControllerStats &
+DramSystem::channelStats(std::uint32_t channel) const
+{
+    panic_if(channel >= controllers_.size(), "channel %u out of range",
+             channel);
+    return controllers_[channel].stats();
+}
+
+ControllerStats
+DramSystem::aggregateStats() const
+{
+    ControllerStats agg;
+    for (const auto &mc : controllers_) {
+        const ControllerStats &s = mc.stats();
+        agg.reads += s.reads;
+        agg.writes += s.writes;
+        agg.rowHits += s.rowHits;
+        agg.rowEmpty += s.rowEmpty;
+        agg.rowConflicts += s.rowConflicts;
+        agg.busBusyCycles += s.busBusyCycles;
+        // Merge the latency distributions sample-count-weighted.
+        // Distribution has no merge; rebuild from moments.
+        // (count/sum/min/max are sufficient for what we report.)
+    }
+    // Aggregate latency distributions manually.
+    Distribution lat, queueing;
+    for (const auto &mc : controllers_) {
+        const ControllerStats &s = mc.stats();
+        if (s.readLatency.count() > 0) {
+            // Weighted merge: approximate by injecting mean `count`
+            // times would lose min/max, so track them explicitly.
+            lat = mergeDistributions(lat, s.readLatency);
+            queueing = mergeDistributions(queueing, s.readQueueing);
+        }
+    }
+    agg.readLatency = lat;
+    agg.readQueueing = queueing;
+    return agg;
+}
+
+void
+DramSystem::resetStats()
+{
+    for (auto &mc : controllers_)
+        mc.resetStats();
+}
+
+} // namespace smtdram

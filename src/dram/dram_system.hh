@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Top-level multi-channel DRAM memory system.
+ *
+ * Owns the address mapping and one MemoryController per logical
+ * channel, routes requests, delivers read completions through a
+ * callback, and aggregates the statistics the paper's figures need
+ * (row-buffer hit rates, concurrency distributions, latencies).
+ */
+
+#ifndef SMTDRAM_DRAM_DRAM_SYSTEM_HH
+#define SMTDRAM_DRAM_DRAM_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "dram/dram_config.hh"
+#include "dram/dram_types.hh"
+#include "dram/memory_controller.hh"
+#include "dram/scheduler.hh"
+
+namespace smtdram
+{
+
+/** Multi-channel DRAM system facade. */
+class DramSystem
+{
+  public:
+    using ReadCallback = std::function<void(const DramRequest &)>;
+
+    DramSystem(const DramConfig &config, SchedulerKind scheduler);
+
+    /** True if the target channel can queue another request. */
+    bool canAccept(Addr addr, MemOp op) const;
+
+    /**
+     * Queue a read for @p addr on behalf of @p thread.
+     * @return the request id (also reported at completion).
+     */
+    std::uint64_t enqueueRead(Addr addr, ThreadId thread,
+                              const ThreadSnapshot &snap, Cycle now,
+                              bool critical = true);
+
+    /** Queue a (writeback) write; completes silently. */
+    std::uint64_t enqueueWrite(Addr addr, Cycle now);
+
+    /** Advance all channels to cycle @p now; fires read callbacks. */
+    void tick(Cycle now);
+
+    /** Called once per completed read, in completion order. */
+    void setReadCallback(ReadCallback cb) { readCallback_ = std::move(cb); }
+
+    bool busy() const;
+
+    /** Queued + in-flight requests across all channels. */
+    size_t outstandingRequests() const;
+
+    /** Outstanding thread-owned (read) requests per thread id. */
+    const std::vector<std::uint32_t> &
+    outstandingPerThread() const
+    {
+        return perThreadOutstanding_;
+    }
+
+    /** Number of distinct threads with outstanding requests. */
+    std::uint32_t distinctThreadsOutstanding() const;
+
+    const DramConfig &config() const { return config_; }
+    const AddressMapping &mapping() const { return mapping_; }
+    std::uint32_t channels() const;
+
+    const ControllerStats &channelStats(std::uint32_t channel) const;
+
+    /** Sum of all per-channel stats. */
+    ControllerStats aggregateStats() const;
+
+    void resetStats();
+
+  private:
+    DramConfig config_;
+    AddressMapping mapping_;
+    std::vector<MemoryController> controllers_;
+    ReadCallback readCallback_;
+    std::uint64_t nextId_ = 1;
+    std::vector<std::uint32_t> perThreadOutstanding_;
+    std::vector<DramRequest> completedScratch_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_DRAM_SYSTEM_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Plain data types exchanged between the processor side and the DRAM
+ * subsystem.
+ */
+
+#ifndef SMTDRAM_DRAM_DRAM_TYPES_HH
+#define SMTDRAM_DRAM_DRAM_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace smtdram
+{
+
+/** Direction of a main-memory transaction. */
+enum class MemOp : std::uint8_t { Read, Write };
+
+/**
+ * Thread state piggybacked on a memory request when the cache miss is
+ * discovered (Section 3 of the paper).  The memory controller never
+ * queries the core directly; it sees the state as of enqueue time,
+ * which the paper argues is precise enough for heuristics.
+ */
+struct ThreadSnapshot {
+    /** Outstanding main-memory requests of the thread, incl. this. */
+    std::uint32_t outstandingRequests = 0;
+    /** Reorder-buffer entries the thread currently holds. */
+    std::uint32_t robOccupancy = 0;
+    /** Integer issue-queue entries the thread currently holds. */
+    std::uint32_t iqOccupancy = 0;
+};
+
+/** Decomposed DRAM location of a physical address. */
+struct DramCoord {
+    std::uint32_t channel = 0;  ///< logical channel index
+    std::uint32_t bank = 0;     ///< bank index within the channel
+    std::uint32_t row = 0;      ///< row (page) within the bank
+    std::uint32_t column = 0;   ///< line-sized column within the row
+};
+
+/** One line-sized main-memory transaction. */
+struct DramRequest {
+    std::uint64_t id = 0;
+    MemOp op = MemOp::Read;
+    Addr addr = kAddrInvalid;
+    /** Owning hardware thread; kThreadNone for writebacks. */
+    ThreadId thread = kThreadNone;
+    Cycle arrival = 0;
+    ThreadSnapshot snap;
+    DramCoord coord;
+    /** True if the processor is stalled on this line's critical word. */
+    bool critical = false;
+
+    // --- Filled in by the controller when the transaction executes ---
+    Cycle issueTime = 0;      ///< cycle the transaction left the queue
+    Cycle completion = 0;     ///< cycle data is back at the controller
+    bool rowHit = false;      ///< column access hit the open row
+    bool bankWasIdle = false; ///< bank had no open row (no conflict)
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_DRAM_TYPES_HH

@@ -1,0 +1,201 @@
+#include "dram/memory_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+MemoryController::MemoryController(const DramConfig &config,
+                                   SchedulerKind scheduler)
+    : config_(config),
+      scheduler_(makeScheduler(scheduler)),
+      banks_(config.banksPerChannel()),
+      // A new transaction's data phase starts after its bank-access
+      // sequence, so booking the bus up to (worst access latency +
+      // two bursts) ahead still lets banks overlap while keeping
+      // scheduling decisions late.
+      maxBusLead_(config.timing.precharge + config.timing.rowAccess +
+                  config.timing.columnAccess +
+                  2 * config.lineTransferCycles())
+{
+    config_.validate();
+}
+
+void
+MemoryController::enqueue(DramRequest req)
+{
+    panic_if(req.coord.bank >= banks_.size(),
+             "bank %u out of range (%zu banks)", req.coord.bank,
+             banks_.size());
+    if (req.op == MemOp::Read) {
+        panic_if(!canAcceptRead(), "read queue overflow");
+        readQueue_.push_back(req);
+    } else {
+        panic_if(!canAcceptWrite(), "write queue overflow");
+        writeQueue_.push_back(req);
+    }
+}
+
+void
+MemoryController::gatherCandidates(const std::deque<DramRequest> &queue,
+                                   Cycle now,
+                                   std::vector<SchedCandidate> &out) const
+{
+    for (const auto &req : queue) {
+        const Bank &bank = banks_[req.coord.bank];
+        if (bank.readyAt > now)
+            continue;
+        SchedCandidate c;
+        c.req = &req;
+        c.rowHit = config_.pageMode == PageMode::Open &&
+                   bank.rowHit(req.coord.row);
+        c.bankIdle = bank.idle();
+        out.push_back(c);
+    }
+}
+
+void
+MemoryController::tryIssue(Cycle now)
+{
+    // Scheduling decisions are taken as late as possible: never book
+    // the data bus more than maxBusLead_ ahead of real time.
+    if (busFreeAt_ > now + maxBusLead_)
+        return;
+
+    // Write-drain hysteresis.
+    if (writeQueue_.size() >= config_.writeHighWatermark)
+        drainingWrites_ = true;
+    else if (writeQueue_.size() <= config_.writeLowWatermark)
+        drainingWrites_ = false;
+
+    std::vector<SchedCandidate> candidates;
+    candidates.reserve(readQueue_.size() + writeQueue_.size());
+    gatherCandidates(readQueue_, now, candidates);
+    // Writes compete only when draining or when no read could go.
+    if (drainingWrites_ || candidates.empty())
+        gatherCandidates(writeQueue_, now, candidates);
+    if (candidates.empty())
+        return;
+
+    const size_t queued = readQueue_.size() + writeQueue_.size();
+    const size_t pick = scheduler_->pick(candidates, queued);
+    panic_if(pick >= candidates.size(), "scheduler picked out of range");
+    const DramRequest *chosen = candidates[pick].req;
+
+    // Remove from its queue by id (the deques are small).
+    auto remove_from = [chosen](std::deque<DramRequest> &q,
+                                DramRequest &out_req) {
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            if (it->id == chosen->id) {
+                out_req = *it;
+                q.erase(it);
+                return true;
+            }
+        }
+        return false;
+    };
+    DramRequest req;
+    bool found = remove_from(readQueue_, req) ||
+                 remove_from(writeQueue_, req);
+    panic_if(!found, "picked request vanished from queues");
+
+    launch(std::move(req), now);
+}
+
+void
+MemoryController::launch(DramRequest req, Cycle now)
+{
+    Bank &bank = banks_[req.coord.bank];
+    panic_if(bank.readyAt > now, "launching into a busy bank");
+
+    const DramTiming &t = config_.timing;
+    const bool open_mode = config_.pageMode == PageMode::Open;
+    const bool hit = open_mode && bank.rowHit(req.coord.row);
+    const bool idle = bank.idle();
+
+    Cycle access_lat = 0;
+    if (hit) {
+        access_lat = t.columnAccess;
+        ++stats_.rowHits;
+    } else if (idle) {
+        access_lat = t.rowAccess + t.columnAccess;
+        ++stats_.rowEmpty;
+    } else {
+        access_lat = t.precharge + t.rowAccess + t.columnAccess;
+        ++stats_.rowConflicts;
+    }
+
+    const Cycle transfer = config_.lineTransferCycles();
+    const Cycle data_ready = now + access_lat;
+    const Cycle data_start = std::max(data_ready, busFreeAt_);
+    const Cycle data_end = data_start + transfer;
+
+    busFreeAt_ = data_end;
+    stats_.busBusyCycles += transfer;
+
+    if (open_mode) {
+        bank.openRow = req.coord.row;
+        bank.readyAt = data_end;
+    } else {
+        // Auto-precharge overlaps nothing else on this bank.
+        bank.openRow = Bank::kNoRow;
+        bank.readyAt = data_end + t.precharge;
+    }
+
+    req.issueTime = now;
+    req.rowHit = hit;
+    req.bankWasIdle = idle;
+    req.completion = data_end + t.controllerOverhead;
+
+    if (req.op == MemOp::Read) {
+        ++stats_.reads;
+        stats_.readQueueing.sample(static_cast<double>(now - req.arrival));
+        stats_.readLatency.sample(
+            static_cast<double>(req.completion - req.arrival));
+    } else {
+        ++stats_.writes;
+    }
+
+    // Keep inFlight_ sorted by completion for cheap retirement.
+    auto it = std::upper_bound(
+        inFlight_.begin(), inFlight_.end(), req.completion,
+        [](Cycle c, const DramRequest &r) { return c < r.completion; });
+    inFlight_.insert(it, std::move(req));
+}
+
+void
+MemoryController::tick(Cycle now, std::vector<DramRequest> &completed)
+{
+    // Retire finished transactions first so their banks show as free.
+    size_t done = 0;
+    while (done < inFlight_.size() && inFlight_[done].completion <= now)
+        ++done;
+    if (done > 0) {
+        completed.insert(completed.end(), inFlight_.begin(),
+                         inFlight_.begin() + done);
+        inFlight_.erase(inFlight_.begin(), inFlight_.begin() + done);
+    }
+
+    tryIssue(now);
+}
+
+Cycle
+MemoryController::nextEventAt() const
+{
+    Cycle next = kCycleNever;
+    if (!inFlight_.empty())
+        next = std::min(next, inFlight_.front().completion);
+    if (!readQueue_.empty() || !writeQueue_.empty()) {
+        // A queued request becomes issuable when some bank frees; the
+        // conservative answer "next cycle" is cheap and correct.
+        Cycle earliest_bank = kCycleNever;
+        for (const auto &bank : banks_)
+            earliest_bank = std::min(earliest_bank, bank.readyAt);
+        next = std::min(next, earliest_bank);
+    }
+    return next;
+}
+
+} // namespace smtdram

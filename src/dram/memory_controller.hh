@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Per-logical-channel memory controller.
+ *
+ * Transaction-level timing model.  Each cycle the controller may
+ * launch at most one new transaction, chosen by the configured
+ * scheduling policy among queued requests whose bank is free.  A
+ * transaction occupies its bank for the whole precharge/activate/
+ * column sequence and the shared channel data bus only during the
+ * burst, so transactions to different banks pipeline.
+ *
+ * Write handling implements the read-first rule globally: writes are
+ * eligible only when no read is, or when the write queue passes its
+ * high watermark, in which case the controller drains writes down to
+ * the low watermark (they still compete under the policy's ordering).
+ */
+
+#ifndef SMTDRAM_DRAM_MEMORY_CONTROLLER_HH
+#define SMTDRAM_DRAM_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dram/bank.hh"
+#include "dram/dram_config.hh"
+#include "dram/dram_types.hh"
+#include "dram/scheduler.hh"
+
+namespace smtdram
+{
+
+/** Aggregated controller statistics. */
+struct ControllerStats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowEmpty = 0;     ///< bank idle (precharged) accesses
+    std::uint64_t rowConflicts = 0; ///< open row had to be precharged
+    Distribution readLatency;       ///< arrival to data return, cycles
+    Distribution readQueueing;      ///< arrival to issue, cycles
+    std::uint64_t busBusyCycles = 0;
+
+    /** Paper's row-buffer miss rate: misses / all accesses. */
+    double
+    rowMissRate() const
+    {
+        const std::uint64_t total = rowHits + rowEmpty + rowConflicts;
+        return total ? static_cast<double>(rowEmpty + rowConflicts) /
+                           total
+                     : 0.0;
+    }
+};
+
+/** One logical channel: banks, bus, queues, and a scheduler. */
+class MemoryController
+{
+  public:
+    MemoryController(const DramConfig &config, SchedulerKind scheduler);
+
+    bool
+    canAcceptRead() const
+    {
+        return readQueue_.size() < config_.readQueueCap;
+    }
+
+    bool
+    canAcceptWrite() const
+    {
+        return writeQueue_.size() < config_.writeQueueCap;
+    }
+
+    /** Queue a mapped request.  coord.channel must equal this one. */
+    void enqueue(DramRequest req);
+
+    /**
+     * Advance to cycle @p now: complete finished transactions and
+     * possibly launch one new one.  Completed requests (reads and
+     * writes) are appended to @p completed.
+     */
+    void tick(Cycle now, std::vector<DramRequest> &completed);
+
+    /** Queued plus in-flight transactions. */
+    size_t
+    outstanding() const
+    {
+        return readQueue_.size() + writeQueue_.size() + inFlight_.size();
+    }
+
+    size_t queuedReads() const { return readQueue_.size(); }
+    size_t queuedWrites() const { return writeQueue_.size(); }
+
+    bool busy() const { return outstanding() > 0; }
+
+    /**
+     * Earliest cycle at which calling tick() again can make progress;
+     * kCycleNever when idle.  Lets the system skip dead cycles.
+     */
+    Cycle nextEventAt() const;
+
+    const ControllerStats &stats() const { return stats_; }
+    void resetStats() { stats_ = ControllerStats(); }
+
+    /** Visit every queued or in-flight request (for samplers). */
+    template <typename Fn>
+    void
+    forEachRequest(Fn &&fn) const
+    {
+        for (const auto &r : readQueue_)
+            fn(r);
+        for (const auto &r : writeQueue_)
+            fn(r);
+        for (const auto &r : inFlight_)
+            fn(r);
+    }
+
+  private:
+    /** Launch the best eligible transaction, if any. */
+    void tryIssue(Cycle now);
+
+    /** Collect policy candidates from @p queue. */
+    void gatherCandidates(const std::deque<DramRequest> &queue, Cycle now,
+                          std::vector<SchedCandidate> &out) const;
+
+    /** Execute the chosen request's timing; returns completion time. */
+    void launch(DramRequest req, Cycle now);
+
+    DramConfig config_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::vector<Bank> banks_;
+    Cycle busFreeAt_ = 0;
+    /** Don't book the bus further ahead than this; keeps scheduling
+     *  decisions late so newly arrived hits can still win. */
+    Cycle maxBusLead_;
+
+    std::deque<DramRequest> readQueue_;
+    std::deque<DramRequest> writeQueue_;
+    /** Launched transactions ordered by completion time. */
+    std::vector<DramRequest> inFlight_;
+    bool drainingWrites_ = false;
+
+    ControllerStats stats_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_MEMORY_CONTROLLER_HH

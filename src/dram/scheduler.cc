@@ -1,0 +1,314 @@
+#include "dram/scheduler.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+namespace
+{
+
+/**
+ * Lexicographic priority key: smaller compares better.  Every policy
+ * is expressed as a (hitClass, readClass, threadKey, arrival, id)
+ * tuple; the id keeps ordering total and deterministic.
+ */
+struct Key {
+    int hitClass;       ///< 0 = row hit, 1 = idle bank, 2 = conflict
+    int readClass;      ///< 0 = read, 1 = write
+    std::int64_t threadKey;
+    Cycle arrival;
+    std::uint64_t id;
+
+    bool
+    operator<(const Key &o) const
+    {
+        if (hitClass != o.hitClass)
+            return hitClass < o.hitClass;
+        if (readClass != o.readClass)
+            return readClass < o.readClass;
+        if (threadKey != o.threadKey)
+            return threadKey < o.threadKey;
+        if (arrival != o.arrival)
+            return arrival < o.arrival;
+        return id < o.id;
+    }
+};
+
+int
+hitClassOf(const SchedCandidate &c)
+{
+    if (c.rowHit)
+        return 0;
+    return c.bankIdle ? 1 : 2;
+}
+
+/** Shared skeleton: build a key per candidate, take the minimum. */
+template <typename KeyFn>
+size_t
+pickByKey(const std::vector<SchedCandidate> &candidates, KeyFn key_fn)
+{
+    panic_if(candidates.empty(), "scheduler invoked with no candidates");
+    size_t best = 0;
+    Key best_key = key_fn(candidates[0]);
+    for (size_t i = 1; i < candidates.size(); ++i) {
+        Key k = key_fn(candidates[i]);
+        if (k < best_key) {
+            best_key = k;
+            best = i;
+        }
+    }
+    return best;
+}
+
+class FcfsScheduler : public Scheduler
+{
+  public:
+    SchedulerKind kind() const override { return SchedulerKind::Fcfs; }
+
+    size_t
+    pick(const std::vector<SchedCandidate> &candidates,
+         size_t /* queued */) const override
+    {
+        return pickByKey(candidates, [](const SchedCandidate &c) {
+            // Reads bypass writes (the paper's FCFS reference point);
+            // otherwise strict arrival order.
+            return Key{0, c.req->op == MemOp::Read ? 0 : 1, 0,
+                       c.req->arrival, c.req->id};
+        });
+    }
+};
+
+class HitFirstScheduler : public Scheduler
+{
+  public:
+    SchedulerKind kind() const override { return SchedulerKind::HitFirst; }
+
+    size_t
+    pick(const std::vector<SchedCandidate> &candidates,
+         size_t /* queued */) const override
+    {
+        return pickByKey(candidates, [](const SchedCandidate &c) {
+            return Key{hitClassOf(c), c.req->op == MemOp::Read ? 0 : 1,
+                       0, c.req->arrival, c.req->id};
+        });
+    }
+};
+
+class AgeBasedScheduler : public Scheduler
+{
+  public:
+    /** Queue depth beyond which age dominates (paper: "more than
+     *  eight outstanding requests"). */
+    static constexpr size_t agePressure = 8;
+
+    SchedulerKind kind() const override { return SchedulerKind::AgeBased; }
+
+    size_t
+    pick(const std::vector<SchedCandidate> &candidates,
+         size_t queued) const override
+    {
+        if (queued > agePressure) {
+            return pickByKey(candidates, [](const SchedCandidate &c) {
+                return Key{0, 0, 0, c.req->arrival, c.req->id};
+            });
+        }
+        return pickByKey(candidates, [](const SchedCandidate &c) {
+            return Key{hitClassOf(c), c.req->op == MemOp::Read ? 0 : 1,
+                       0, c.req->arrival, c.req->id};
+        });
+    }
+};
+
+/**
+ * Common shape of the three thread-aware schemes: hit-first and
+ * read-first lead (Section 3.2 explains why bandwidth trumps single-
+ * access latency under SMT), then the thread key breaks ties.
+ * Writebacks carry no thread and rank after every thread-owned
+ * request within their class.
+ */
+class ThreadAwareScheduler : public Scheduler
+{
+  public:
+    size_t
+    pick(const std::vector<SchedCandidate> &candidates,
+         size_t /* queued */) const override
+    {
+        return pickByKey(candidates, [this](const SchedCandidate &c) {
+            std::int64_t tkey = (c.req->thread == kThreadNone)
+                                    ? kNoThreadKey
+                                    : threadKey(c.req->snap);
+            return Key{hitClassOf(c), c.req->op == MemOp::Read ? 0 : 1,
+                       tkey, c.req->arrival, c.req->id};
+        });
+    }
+
+  protected:
+    static constexpr std::int64_t kNoThreadKey = 1LL << 40;
+
+    /** Smaller = higher priority. */
+    virtual std::int64_t threadKey(const ThreadSnapshot &snap) const = 0;
+};
+
+class RequestBasedScheduler : public ThreadAwareScheduler
+{
+  public:
+    SchedulerKind
+    kind() const override
+    {
+        return SchedulerKind::RequestBased;
+    }
+
+  protected:
+    std::int64_t
+    threadKey(const ThreadSnapshot &snap) const override
+    {
+        // Fewest outstanding requests first.
+        return snap.outstandingRequests;
+    }
+};
+
+class RobBasedScheduler : public ThreadAwareScheduler
+{
+  public:
+    SchedulerKind kind() const override { return SchedulerKind::RobBased; }
+
+  protected:
+    std::int64_t
+    threadKey(const ThreadSnapshot &snap) const override
+    {
+        // Most ROB entries held first.
+        return -static_cast<std::int64_t>(snap.robOccupancy);
+    }
+};
+
+class CriticalityBasedScheduler : public Scheduler
+{
+  public:
+    SchedulerKind
+    kind() const override
+    {
+        return SchedulerKind::CriticalityBased;
+    }
+
+    size_t
+    pick(const std::vector<SchedCandidate> &candidates,
+         size_t /* queued */) const override
+    {
+        return pickByKey(candidates, [](const SchedCandidate &c) {
+            // Critical requests lead within their hit/read class.
+            return Key{hitClassOf(c), c.req->op == MemOp::Read ? 0 : 1,
+                       c.req->critical ? 0 : 1, c.req->arrival,
+                       c.req->id};
+        });
+    }
+};
+
+class IqBasedScheduler : public ThreadAwareScheduler
+{
+  public:
+    SchedulerKind kind() const override { return SchedulerKind::IqBased; }
+
+  protected:
+    std::int64_t
+    threadKey(const ThreadSnapshot &snap) const override
+    {
+        // Most integer issue-queue entries held first.
+        return -static_cast<std::int64_t>(snap.iqOccupancy);
+    }
+};
+
+} // namespace
+
+const std::vector<SchedulerKind> &
+allSchedulerKinds()
+{
+    static const std::vector<SchedulerKind> kinds = {
+        SchedulerKind::Fcfs,         SchedulerKind::HitFirst,
+        SchedulerKind::AgeBased,     SchedulerKind::RequestBased,
+        SchedulerKind::RobBased,     SchedulerKind::IqBased,
+    };
+    return kinds;
+}
+
+const std::vector<SchedulerKind> &
+allSchedulerKindsExtended()
+{
+    static const std::vector<SchedulerKind> kinds = {
+        SchedulerKind::Fcfs,          SchedulerKind::HitFirst,
+        SchedulerKind::AgeBased,      SchedulerKind::RequestBased,
+        SchedulerKind::RobBased,      SchedulerKind::IqBased,
+        SchedulerKind::CriticalityBased,
+    };
+    return kinds;
+}
+
+std::string
+schedulerName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs: return "FCFS";
+      case SchedulerKind::HitFirst: return "Hit-first";
+      case SchedulerKind::AgeBased: return "Age-based";
+      case SchedulerKind::RequestBased: return "Request-based";
+      case SchedulerKind::RobBased: return "ROB-based";
+      case SchedulerKind::IqBased: return "IQ-based";
+      case SchedulerKind::CriticalityBased: return "Criticality";
+    }
+    panic("unknown SchedulerKind %d", static_cast<int>(kind));
+}
+
+SchedulerKind
+schedulerFromName(const std::string &name)
+{
+    std::string lower;
+    for (char ch : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+    std::erase(lower, '-');
+    std::erase(lower, '_');
+    if (lower == "fcfs")
+        return SchedulerKind::Fcfs;
+    if (lower == "hitfirst")
+        return SchedulerKind::HitFirst;
+    if (lower == "agebased" || lower == "age")
+        return SchedulerKind::AgeBased;
+    if (lower == "requestbased" || lower == "request")
+        return SchedulerKind::RequestBased;
+    if (lower == "robbased" || lower == "rob")
+        return SchedulerKind::RobBased;
+    if (lower == "iqbased" || lower == "iq")
+        return SchedulerKind::IqBased;
+    if (lower == "criticality" || lower == "criticalitybased" ||
+        lower == "critical") {
+        return SchedulerKind::CriticalityBased;
+    }
+    fatal("unknown scheduler '%s'", name.c_str());
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerKind::HitFirst:
+        return std::make_unique<HitFirstScheduler>();
+      case SchedulerKind::AgeBased:
+        return std::make_unique<AgeBasedScheduler>();
+      case SchedulerKind::RequestBased:
+        return std::make_unique<RequestBasedScheduler>();
+      case SchedulerKind::RobBased:
+        return std::make_unique<RobBasedScheduler>();
+      case SchedulerKind::IqBased:
+        return std::make_unique<IqBasedScheduler>();
+      case SchedulerKind::CriticalityBased:
+        return std::make_unique<CriticalityBasedScheduler>();
+    }
+    panic("unknown SchedulerKind %d", static_cast<int>(kind));
+}
+
+} // namespace smtdram

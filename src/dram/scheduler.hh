@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Memory access scheduling policies (Sections 3 and 5.5).
+ *
+ * Single-thread-era policies:
+ *  - FCFS: arrival order (reads already bypass writes at the
+ *    controller level, matching the paper's reference point);
+ *  - Hit-first: row-buffer hits before misses, reads before writes,
+ *    then arrival order;
+ *  - Age-based: hit-first, but when more than `agePressure` requests
+ *    are queued, the oldest request is served first.
+ *
+ * Thread-aware policies (the paper's contribution) keep hit-first and
+ * read-first as the leading criteria, then break ties with thread
+ * state piggybacked on each request:
+ *  - Request-based: fewest outstanding memory requests first;
+ *  - ROB-based: most reorder-buffer entries held first;
+ *  - IQ-based: most integer issue-queue entries held first.
+ */
+
+#ifndef SMTDRAM_DRAM_SCHEDULER_HH
+#define SMTDRAM_DRAM_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/bank.hh"
+#include "dram/dram_types.hh"
+
+namespace smtdram
+{
+
+/** Identifiers for the built-in scheduling policies. */
+enum class SchedulerKind : std::uint8_t {
+    Fcfs,
+    HitFirst,
+    AgeBased,
+    RequestBased,
+    RobBased,
+    IqBased,
+    /**
+     * Criticality-based (Section 3.1): requests carrying a word the
+     * processor is waiting on (demand loads / instruction fetches)
+     * outrank non-critical traffic (store fills, prefetches) within
+     * their hit/read class.  Listed by the paper among known
+     * single-thread policies; not part of Figure 10's sweep.
+     */
+    CriticalityBased,
+};
+
+/** The Figure 10 policies, in the paper's order. */
+const std::vector<SchedulerKind> &allSchedulerKinds();
+
+/** Every policy, including extensions beyond Figure 10. */
+const std::vector<SchedulerKind> &allSchedulerKindsExtended();
+
+/** Short name used in bench output ("FCFS", "Hit-first", ...). */
+std::string schedulerName(SchedulerKind kind);
+
+/** Parse a scheduler name (case-insensitive); fatal()s on garbage. */
+SchedulerKind schedulerFromName(const std::string &name);
+
+/** View of a queued request the scheduler may rank. */
+struct SchedCandidate {
+    const DramRequest *req = nullptr;
+    bool rowHit = false;    ///< would hit the currently open row
+    bool bankIdle = false;  ///< bank precharged, no conflict
+};
+
+/**
+ * A scheduling policy: picks which eligible request the channel
+ * serves next.  Stateless; all inputs arrive via the candidates.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual SchedulerKind kind() const = 0;
+
+    /**
+     * Choose among @p candidates (never empty).
+     * @param queued total requests queued at this channel, used by
+     *        pressure-triggered policies such as age-based.
+     * @return index into @p candidates.
+     */
+    virtual size_t pick(const std::vector<SchedCandidate> &candidates,
+                        size_t queued) const = 0;
+
+    std::string name() const { return schedulerName(kind()); }
+};
+
+/** Instantiate a policy. */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_SCHEDULER_HH

@@ -1,0 +1,135 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+std::vector<AppProfile>
+profilesForMix(const WorkloadMix &mix)
+{
+    std::vector<AppProfile> apps;
+    apps.reserve(mix.apps.size());
+    for (const std::string &name : mix.apps)
+        apps.push_back(specProfile(name));
+    return apps;
+}
+
+ExperimentContext::ExperimentContext(std::uint64_t measure_insts,
+                                     std::uint64_t warmup_insts,
+                                     std::uint64_t seed)
+    : measureInsts_(measure_insts),
+      warmupInsts_(warmup_insts),
+      seed_(seed)
+{
+}
+
+std::string
+configSignature(const SystemConfig &config)
+{
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf), "%s-%s-%s-%s-l3%s-pf%d",
+        config.dram.label().c_str(),
+        config.dram.mapping == MappingScheme::XorPermute ? "xor"
+                                                         : "page",
+        config.dram.pageMode == PageMode::Open ? "open" : "close",
+        schedulerName(config.scheduler).c_str(),
+        config.hierarchy.l3.infinite ? "inf" : "real",
+        (config.hierarchy.prefetchNextLine ? 1 : 0) +
+            (config.dram.channelInterleave == ChannelInterleave::Page
+                 ? 2
+                 : 0));
+    return buf;
+}
+
+double
+ExperimentContext::aloneIpc(const std::string &app)
+{
+    return aloneIpcOn(app, SystemConfig::paperDefault(1));
+}
+
+double
+ExperimentContext::aloneIpcOn(const std::string &app,
+                              const SystemConfig &config)
+{
+    const std::string key = app + "@" + configSignature(config);
+    auto it = aloneIpc_.find(key);
+    if (it != aloneIpc_.end())
+        return it->second;
+
+    SystemConfig alone = config;
+    alone.core.numThreads = 1;
+    SmtSystem system(alone, {specProfile(app)}, seed_);
+    const RunResult r = system.run(measureInsts_, warmupInsts_);
+    const double ipc = r.ipc.at(0);
+    aloneIpc_.emplace(key, ipc);
+    return ipc;
+}
+
+MixRun
+ExperimentContext::runMix(const SystemConfig &config,
+                          const WorkloadMix &mix,
+                          bool per_config_baselines)
+{
+    fatal_if(config.core.numThreads != mix.apps.size(),
+             "config has %u threads but mix '%s' has %zu apps",
+             config.core.numThreads, mix.name.c_str(),
+             mix.apps.size());
+
+    SmtSystem system(config, profilesForMix(mix), seed_);
+    MixRun out;
+    out.run = system.run(measureInsts_, warmupInsts_);
+    for (size_t i = 0; i < mix.apps.size(); ++i) {
+        const double alone =
+            per_config_baselines ? aloneIpcOn(mix.apps[i], config)
+                                 : aloneIpc(mix.apps[i]);
+        out.weightedSpeedup += out.run.ipc[i] / alone;
+    }
+    return out;
+}
+
+MixRun
+ExperimentContext::runMix(const std::string &mix_name)
+{
+    const WorkloadMix &mix = mixByName(mix_name);
+    const SystemConfig config = SystemConfig::paperDefault(
+        static_cast<std::uint32_t>(mix.apps.size()));
+    return runMix(config, mix);
+}
+
+CpiBreakdown
+measureCpiBreakdown(const std::string &app,
+                    std::uint64_t measure_insts,
+                    std::uint64_t warmup_insts, std::uint64_t seed)
+{
+    auto cpi_on = [&](bool inf_l1, bool inf_l2, bool inf_l3) {
+        SystemConfig config = SystemConfig::paperDefault(1);
+        config.hierarchy.l1i.infinite = inf_l1;
+        config.hierarchy.l1d.infinite = inf_l1;
+        config.hierarchy.l2.infinite = inf_l2;
+        config.hierarchy.l3.infinite = inf_l3;
+        SmtSystem system(config, {specProfile(app)}, seed);
+        const RunResult r = system.run(measure_insts, warmup_insts);
+        return 1.0 / r.ipc.at(0);
+    };
+
+    // Section 4.2: CPI_overall (real), CPI_pL3 (infinite L3),
+    // CPI_pL2 (infinite L2), CPI_proc (infinite L1s).
+    const double overall = cpi_on(false, false, false);
+    const double p_l3 = cpi_on(false, false, true);
+    const double p_l2 = cpi_on(false, true, true);
+    const double proc = cpi_on(true, true, true);
+
+    CpiBreakdown b;
+    b.overall = overall;
+    b.proc = proc;
+    b.l2 = std::max(0.0, p_l2 - proc);
+    b.l3 = std::max(0.0, p_l3 - p_l2);
+    b.mem = std::max(0.0, overall - p_l3);
+    return b;
+}
+
+} // namespace smtdram

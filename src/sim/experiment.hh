@@ -1,0 +1,104 @@
+/**
+ * @file
+ * High-level experiment helpers shared by the benches, examples, and
+ * integration tests: single-thread baselines, weighted speedup, and
+ * the CPI-breakdown methodology of Section 4.2.
+ */
+
+#ifndef SMTDRAM_SIM_EXPERIMENT_HH
+#define SMTDRAM_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/smt_system.hh"
+#include "sim/system_config.hh"
+#include "workload/spec2000.hh"
+
+namespace smtdram
+{
+
+/** Result of running one workload mix on one configuration. */
+struct MixRun {
+    RunResult run;
+    /** Weighted speedup = sum_i IPC_mix,i / IPC_alone,i  [28]. */
+    double weightedSpeedup = 0.0;
+};
+
+/**
+ * Shared measurement context: instruction budgets and the cache of
+ * single-thread baseline IPCs (measured on the paper's default
+ * machine so weighted speedups stay comparable across memory
+ * configurations, as in the paper's normalized figures).
+ */
+class ExperimentContext
+{
+  public:
+    explicit ExperimentContext(std::uint64_t measure_insts = 200'000,
+                               std::uint64_t warmup_insts = 50'000,
+                               std::uint64_t seed = 42);
+
+    /** Single-thread IPC of @p app on the reference machine. */
+    double aloneIpc(const std::string &app);
+
+    /**
+     * Single-thread IPC of @p app on @p config's memory system
+     * (cached by configuration signature).  Used when weighted
+     * speedups must be comparable across machine configurations with
+     * per-configuration baselines, as in the paper's Figure 3.
+     */
+    double aloneIpcOn(const std::string &app,
+                      const SystemConfig &config);
+
+    /**
+     * Run @p mix on @p config and compute its weighted speedup.
+     * @param per_config_baselines divide by each application's
+     *        single-thread IPC on this same configuration instead of
+     *        the reference machine.
+     */
+    MixRun runMix(const SystemConfig &config, const WorkloadMix &mix,
+                  bool per_config_baselines = false);
+
+    /** Convenience: build the config for a mix and run it. */
+    MixRun runMix(const std::string &mix_name);
+
+    std::uint64_t measureInsts() const { return measureInsts_; }
+    std::uint64_t warmupInsts() const { return warmupInsts_; }
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    std::uint64_t measureInsts_;
+    std::uint64_t warmupInsts_;
+    std::uint64_t seed_;
+    std::map<std::string, double> aloneIpc_;
+};
+
+/** Stable cache key describing a configuration's memory system. */
+std::string configSignature(const SystemConfig &config);
+
+/** CPI split per the Section 4.2 methodology. */
+struct CpiBreakdown {
+    double overall = 0.0;  ///< real machine
+    double proc = 0.0;     ///< infinite L1s
+    double l2 = 0.0;       ///< infinite L2 minus infinite L1
+    double l3 = 0.0;       ///< infinite L3 minus infinite L2
+    double mem = 0.0;      ///< real minus infinite L3
+};
+
+/**
+ * Measure the four-system CPI breakdown of one application running
+ * alone (Figure 1).
+ */
+CpiBreakdown measureCpiBreakdown(const std::string &app,
+                                 std::uint64_t measure_insts,
+                                 std::uint64_t warmup_insts,
+                                 std::uint64_t seed);
+
+/** Build per-thread profiles for a mix. */
+std::vector<AppProfile> profilesForMix(const WorkloadMix &mix);
+
+} // namespace smtdram
+
+#endif // SMTDRAM_SIM_EXPERIMENT_HH

@@ -1,0 +1,245 @@
+#include "sim/smt_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+SmtSystem::SmtSystem(const SystemConfig &config,
+                     const std::vector<AppProfile> &apps,
+                     std::uint64_t seed)
+    : config_(config)
+{
+    fatal_if(apps.size() != config_.core.numThreads,
+             "%zu application profiles for %u hardware threads",
+             apps.size(), config_.core.numThreads);
+
+    dram_ = std::make_unique<DramSystem>(config_.dram,
+                                         config_.scheduler);
+    hierarchy_ = std::make_unique<Hierarchy>(
+        config_.hierarchy, *dram_, events_, config_.core.numThreads);
+    core_ = std::make_unique<SmtCore>(config_.core, *hierarchy_);
+
+    streams_.reserve(apps.size());
+    for (size_t i = 0; i < apps.size(); ++i) {
+        streams_.push_back(std::make_unique<SyntheticStream>(
+            apps[i], seed + i * 0x1000'0001ULL));
+        core_->bindStream(static_cast<ThreadId>(i),
+                          streams_.back().get());
+    }
+
+    prewarmCaches(apps);
+}
+
+void
+SmtSystem::prewarmCaches(const std::vector<AppProfile> &apps)
+{
+    // Structural warm-up, mirroring the paper's fast-forward phase:
+    // hot sets into the L1D and the leading slice of each cold set
+    // into L2/L3.  Threads interleave page-sized chunks so the
+    // shared caches end up fairly mixed, as they would after real
+    // co-scheduled fast-forwarding.
+    const std::uint64_t line = config_.hierarchy.l1d.lineBytes;
+    const std::uint64_t chunk = config_.hierarchy.pageBytes;
+    const std::uint64_t cold_cap = config_.hierarchy.l3.sizeBytes;
+
+    // A Streaming/Strided cold set larger than the L3 is compulsory
+    // missing in steady state (every access is a new line forever),
+    // so pre-warming it would fake locality the workload does not
+    // have.  Anything that fits the L3 is resident in steady state
+    // and is pre-warmed whatever its pattern.
+    auto cold_prewarm_bytes = [cold_cap](const AppProfile &a) {
+        if (a.coldBytes > cold_cap &&
+            (a.coldPattern == AccessPattern::Streaming ||
+             a.coldPattern == AccessPattern::Strided)) {
+            return std::uint64_t{0};
+        }
+        return std::min<std::uint64_t>(a.coldBytes, cold_cap);
+    };
+
+    // Lay out each thread's address space first, the way a program
+    // initializing its data before the measured region would: code,
+    // hot set, and the full cold region each get contiguous frame
+    // blocks.  Array strides and array-to-array offsets then keep
+    // their power-of-two structure in physical memory, which is what
+    // the DRAM mapping schemes of Section 5.4 react to.
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const auto tid = static_cast<ThreadId>(i);
+        const AppProfile &a = apps[i];
+        hierarchy_->preallocate(tid, SyntheticStream::kCodeBase,
+                                a.codeBytes);
+        hierarchy_->preallocate(tid, SyntheticStream::kHotBase,
+                                a.hotBytes);
+        hierarchy_->preallocate(tid, SyntheticStream::kColdBase,
+                                a.coldBytes);
+    }
+
+    std::uint64_t max_bytes = 0;
+    for (const AppProfile &a : apps) {
+        max_bytes = std::max(max_bytes, a.hotBytes);
+        max_bytes = std::max(max_bytes, cold_prewarm_bytes(a));
+    }
+
+    for (std::uint64_t base = 0; base < max_bytes; base += chunk) {
+        for (size_t i = 0; i < apps.size(); ++i) {
+            const auto tid = static_cast<ThreadId>(i);
+            const AppProfile &a = apps[i];
+            for (std::uint64_t off = base;
+                 off < std::min(base + chunk, a.hotBytes);
+                 off += line) {
+                hierarchy_->prewarmLine(
+                    tid, SyntheticStream::kHotBase + off, true);
+            }
+            const std::uint64_t cold_limit = cold_prewarm_bytes(a);
+            for (std::uint64_t off = base;
+                 off < std::min(base + chunk, cold_limit);
+                 off += line) {
+                hierarchy_->prewarmLine(
+                    tid, SyntheticStream::kColdBase + off, false);
+            }
+        }
+    }
+}
+
+void
+SmtSystem::stepCycle()
+{
+    ++now_;
+    events_.runUntil(now_);
+    dram_->tick(now_);
+    hierarchy_->tick(now_);
+    core_->cycle(now_);
+}
+
+RunResult
+SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
+{
+    const std::uint32_t n = config_.core.numThreads;
+
+    auto all_committed = [this, n](std::uint64_t target,
+                                   const std::vector<std::uint64_t>
+                                       &base) {
+        for (ThreadId t = 0; t < n; ++t) {
+            if (core_->perf(t).committedInsts - base[t] < target)
+                return false;
+        }
+        return true;
+    };
+
+    // Deadlock watchdog: every thread must commit something within
+    // this many cycles or the model has a bug worth aborting on.
+    constexpr Cycle kProgressWindow = 3'000'000;
+
+    // ---- Warm-up phase (caches, predictor, DRAM state) ----
+    std::vector<std::uint64_t> zero(n, 0);
+    std::uint64_t last_total = 0;
+    Cycle last_progress = now_;
+    while (!all_committed(warmup_insts, zero)) {
+        stepCycle();
+        std::uint64_t total = 0;
+        for (ThreadId t = 0; t < n; ++t)
+            total += core_->perf(t).committedInsts;
+        if (total != last_total) {
+            last_total = total;
+            last_progress = now_;
+        }
+        panic_if(now_ - last_progress > kProgressWindow,
+                 "no commit progress for %llu cycles during warm-up",
+                 (unsigned long long)kProgressWindow);
+    }
+
+    // ---- Reset statistics at the measurement boundary ----
+    hierarchy_->resetStats();
+    dram_->resetStats();
+
+    std::vector<std::uint64_t> base(n);
+    std::uint64_t base_mispredicts = 0;
+    std::uint64_t base_branches = 0;
+    for (ThreadId t = 0; t < n; ++t) {
+        base[t] = core_->perf(t).committedInsts;
+        base_branches += core_->perf(t).branches;
+        base_mispredicts += core_->perf(t).mispredicts;
+    }
+    const Cycle start = now_;
+    const std::uint64_t int_issue_base = core_->intIssueActiveCycles();
+
+    RunResult res;
+    res.ipc.assign(n, 0.0);
+    res.committed.assign(n, 0);
+    std::vector<Cycle> finish(n, 0);
+
+    // ---- Measured phase ----
+    while (!all_committed(measure_insts, base)) {
+        stepCycle();
+
+        // Figures 4 and 5: sample while the DRAM system is busy.
+        if (dram_->busy()) {
+            const size_t outstanding = dram_->outstandingRequests();
+            res.outstandingHist.sample(outstanding);
+            if (outstanding >= 2)
+                res.threadsHist.sample(
+                    dram_->distinctThreadsOutstanding());
+        }
+
+        std::uint64_t total = 0;
+        for (ThreadId t = 0; t < n; ++t) {
+            const std::uint64_t done =
+                core_->perf(t).committedInsts - base[t];
+            total += done;
+            if (finish[t] == 0 && done >= measure_insts)
+                finish[t] = now_;
+        }
+        if (total != last_total) {
+            last_total = total;
+            last_progress = now_;
+        }
+        panic_if(now_ - last_progress > kProgressWindow,
+                 "no commit progress for %llu cycles at cycle %llu",
+                 (unsigned long long)kProgressWindow,
+                 (unsigned long long)now_);
+    }
+
+    // ---- Collect results ----
+    res.measuredCycles = now_ - start;
+    std::uint64_t committed_total = 0;
+    for (ThreadId t = 0; t < n; ++t) {
+        if (finish[t] == 0)
+            finish[t] = now_;
+        res.committed[t] = core_->perf(t).committedInsts - base[t];
+        committed_total += res.committed[t];
+        res.ipc[t] = static_cast<double>(measure_insts) /
+                     static_cast<double>(finish[t] - start);
+    }
+
+    res.dram = dram_->aggregateStats();
+    const std::uint64_t row_total =
+        res.dram.rowHits + res.dram.rowEmpty + res.dram.rowConflicts;
+    res.rowMissRate = row_total ? res.dram.rowMissRate() : 0.0;
+    res.memAccessPer100 =
+        committed_total
+            ? 100.0 * static_cast<double>(res.dram.reads) /
+                  static_cast<double>(committed_total)
+            : 0.0;
+    res.intIssueActiveFrac =
+        res.measuredCycles
+            ? static_cast<double>(core_->intIssueActiveCycles() -
+                                  int_issue_base) /
+                  static_cast<double>(res.measuredCycles)
+            : 0.0;
+
+    std::uint64_t branches = 0, mispredicts = 0;
+    for (ThreadId t = 0; t < n; ++t) {
+        branches += core_->perf(t).branches;
+        mispredicts += core_->perf(t).mispredicts;
+    }
+    branches -= base_branches;
+    mispredicts -= base_mispredicts;
+    res.branchMispredictRate =
+        branches ? static_cast<double>(mispredicts) / branches : 0.0;
+
+    return res;
+}
+
+} // namespace smtdram

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The complete simulated machine: SMT core + cache hierarchy + DRAM,
+ * plus the run loop and the samplers behind Figures 4 and 5.
+ */
+
+#ifndef SMTDRAM_SIM_SMT_SYSTEM_HH
+#define SMTDRAM_SIM_SMT_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "cpu/smt_core.hh"
+#include "sim/system_config.hh"
+#include "workload/spec2000.hh"
+#include "workload/synthetic_stream.hh"
+
+namespace smtdram
+{
+
+/** Everything a bench needs from one simulation run. */
+struct RunResult {
+    Cycle measuredCycles = 0;
+    /** Per-thread IPC over the measurement window. */
+    std::vector<double> ipc;
+    std::vector<std::uint64_t> committed;
+
+    // --- DRAM-side measurements ---
+    ControllerStats dram;
+    double rowMissRate = 0.0;
+    /** Main-memory accesses (reads) per 100 committed instructions. */
+    double memAccessPer100 = 0.0;
+    /** Figure 4: outstanding requests while the DRAM is busy. */
+    Histogram outstandingHist{{1, 4, 8, 16}};
+    /** Figure 5: threads contributing when >=2 requests pending. */
+    Histogram threadsHist{{1, 2, 3, 4, 5, 6, 7}};
+    /** Fraction of cycles issuing at least one integer instruction. */
+    double intIssueActiveFrac = 0.0;
+    double branchMispredictRate = 0.0;
+};
+
+/** One simulated machine executing a set of application profiles. */
+class SmtSystem
+{
+  public:
+    /**
+     * @param config machine parameters.
+     * @param apps one profile per hardware thread; size must equal
+     *             config.core.numThreads.
+     * @param seed workload randomness seed (thread i uses seed + i).
+     */
+    SmtSystem(const SystemConfig &config,
+              const std::vector<AppProfile> &apps, std::uint64_t seed);
+
+    /**
+     * Warm up (unmeasured) then measure.
+     *
+     * The run ends when every thread has committed @p measure_insts
+     * instructions inside the measurement window; each thread's IPC
+     * uses the cycle at which *it* reached the budget, so early
+     * finishers are not distorted by stragglers (the standard
+     * multi-program methodology).
+     */
+    RunResult run(std::uint64_t measure_insts,
+                  std::uint64_t warmup_insts);
+
+    const SmtCore &core() const { return *core_; }
+    const Hierarchy &hierarchy() const { return *hierarchy_; }
+    const DramSystem &dram() const { return *dram_; }
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    /** Advance the machine one cycle. */
+    void stepCycle();
+
+    /** Structural cache warm-up (see .cc for the methodology). */
+    void prewarmCaches(const std::vector<AppProfile> &apps);
+
+    SystemConfig config_;
+    EventQueue events_;
+    std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<Hierarchy> hierarchy_;
+    std::unique_ptr<SmtCore> core_;
+    std::vector<std::unique_ptr<SyntheticStream>> streams_;
+    Cycle now_ = 0;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_SIM_SMT_SYSTEM_HH

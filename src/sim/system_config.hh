@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Top-level system configuration bundling core, hierarchy, and DRAM
+ * parameters.  Defaults reproduce Table 1 of the paper.
+ */
+
+#ifndef SMTDRAM_SIM_SYSTEM_CONFIG_HH
+#define SMTDRAM_SIM_SYSTEM_CONFIG_HH
+
+#include "cache/cache_config.hh"
+#include "cpu/cpu_config.hh"
+#include "dram/dram_config.hh"
+#include "dram/scheduler.hh"
+
+namespace smtdram
+{
+
+/** Everything needed to instantiate one simulated machine. */
+struct SystemConfig {
+    CoreConfig core;
+    HierarchyConfig hierarchy;
+    DramConfig dram = DramConfig::ddrSdram(2);
+    SchedulerKind scheduler = SchedulerKind::HitFirst;
+
+    /**
+     * The paper's default evaluation system (Section 5): 2-channel
+     * DDR SDRAM, open page, XOR mapping, hit-first scheduling, DWarn
+     * fetch policy, and Table 1 core/cache parameters.
+     */
+    static SystemConfig
+    paperDefault(std::uint32_t num_threads)
+    {
+        SystemConfig c;
+        c.core.numThreads = num_threads;
+        c.core.fetchPolicy = FetchPolicyKind::DWarn;
+        c.dram = DramConfig::ddrSdram(2);
+        c.dram.mapping = MappingScheme::XorPermute;
+        c.dram.pageMode = PageMode::Open;
+        c.scheduler = SchedulerKind::HitFirst;
+        return c;
+    }
+
+    /** Same machine with an infinitely large L3 (Figure 3 reference). */
+    SystemConfig
+    withInfiniteL3() const
+    {
+        SystemConfig c = *this;
+        c.hierarchy.l3.infinite = true;
+        return c;
+    }
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_SIM_SYSTEM_CONFIG_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Parameterized behavioural profile of one benchmark application.
+ *
+ * Because SPEC2000 binaries and SimPoint traces are not available in
+ * this environment, each application is modelled as a stationary
+ * synthetic instruction stream whose knobs control exactly the
+ * properties the paper's experiments depend on: instruction mix, ILP
+ * (dependency distances), branch predictability, instruction
+ * footprint, and — most importantly — the data working set and its
+ * access pattern, which determine miss rates per cache level and the
+ * row-buffer behaviour in DRAM.  See DESIGN.md for the substitution
+ * argument, and tests/workload for the calibration checks.
+ */
+
+#ifndef SMTDRAM_WORKLOAD_APP_PROFILE_HH
+#define SMTDRAM_WORKLOAD_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace smtdram
+{
+
+/** Coarse classes used to build Table 2 workload mixes. */
+enum class AppCategory : std::uint8_t {
+    Ilp,  ///< compute-bound, negligible CPImem
+    Mid,  ///< moderate cache pressure
+    Mem,  ///< main-memory bound
+};
+
+/** Spatial pattern of accesses into the cold (large) working set. */
+enum class AccessPattern : std::uint8_t {
+    Streaming,    ///< sequential, element-sized steps
+    Strided,      ///< fixed large stride (bank/row structured)
+    Random,       ///< uniform over the footprint
+    PointerChase, ///< serialized random (each address depends on the
+                  ///< previous load's value)
+    Mixed,        ///< half streaming, half random
+};
+
+/** All knobs of one application model. */
+struct AppProfile {
+    std::string name;
+    AppCategory category = AppCategory::Mid;
+    bool fpProgram = false;  ///< SPEC FP suite member
+
+    // Instruction mix (fractions of the dynamic stream; the
+    // remainder are plain ALU ops of the program's dominant type).
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.12;
+    /** Among non-memory compute ops, fraction that are FP. */
+    double fpOpFrac = 0.0;
+    /** Among compute ops, fraction that are long-latency (mult). */
+    double mulFrac = 0.05;
+
+    // Branch behaviour.
+    double branchNoise = 0.03;  ///< fraction with random outcome
+    std::uint32_t loopLength = 32;  ///< taken runs between exits
+
+    // Footprints (bytes).
+    std::uint32_t codeBytes = 64 * 1024;
+    std::uint64_t hotBytes = 32 * 1024;     ///< cache-resident set
+    std::uint64_t coldBytes = 1024 * 1024;  ///< large working set
+
+    /** Fraction of memory references aimed at the cold set. */
+    double coldFrac = 0.05;
+    /**
+     * Miss clustering (Pai/Adve [19], quoted in Section 3.2): cold
+     * accesses are emitted only during periodic "memory phases"
+     * covering this fraction of the stream, with the intensity
+     * scaled so the long-run coldFrac is preserved.  1.0 disables
+     * phasing (stationary stream).  The phase structure is what
+     * gives a thread a "next phase of having no cache misses" for
+     * the request-based scheduler to accelerate it into.
+     */
+    double memPhaseFrac = 0.4;
+    /** Instructions per memory-phase period. */
+    std::uint32_t phasePeriod = 600;
+    AccessPattern coldPattern = AccessPattern::Mixed;
+    std::uint32_t strideBytes = 4096;    ///< for Strided
+    std::uint32_t streamStepBytes = 8;   ///< for Streaming
+    /**
+     * Concurrent array sweeps for Streaming (e.g. a[i]+b[i]->c[i]
+     * kernels touch several arrays in lockstep).  The arrays start
+     * at coldBytes/streamCount offsets — power-of-two separations
+     * that alias to the same DRAM bank under page mapping, which is
+     * exactly the conflict the XOR scheme untangles (Section 5.4).
+     */
+    std::uint32_t streamCount = 1;
+    /**
+     * Mean consecutive lines touched after each Random/PointerChase
+     * jump (records wider than one line); 1 = no spatial locality.
+     */
+    std::uint32_t coldRunLines = 1;
+    /**
+     * Independent pointer-chase chains advanced round-robin.  Each
+     * cold load depends on the chain's previous load, so this is the
+     * workload's memory-level parallelism (mcf sustains several
+     * concurrent misses; a linked-list traversal sustains one).
+     */
+    std::uint32_t chaseChains = 1;
+
+    // ILP shape.
+    double depMean = 6.0;   ///< mean producer distance
+    double dep2Frac = 0.3;  ///< ops with a second input dependency
+    /**
+     * Fraction of ops that start a fresh dependence chain (no
+     * inputs).  Real dependence graphs are forests, not one chain:
+     * without chain starts a single stalled load transitively blocks
+     * the whole window.
+     */
+    double depFreeFrac = 0.25;
+    double callFrac = 0.01; ///< calls (matched returns follow)
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_WORKLOAD_APP_PROFILE_HH

@@ -1,0 +1,214 @@
+#include "workload/spec2000.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+namespace
+{
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+/** Fluent builder keeping the profile table readable. */
+struct P {
+    AppProfile a;
+
+    explicit
+    P(std::string name, AppCategory cat, bool fp)
+    {
+        a.name = std::move(name);
+        a.category = cat;
+        a.fpProgram = fp;
+        if (fp) {
+            // SPEC FP programs: fewer branches, more FP compute.
+            a.branchFrac = 0.05;
+            a.fpOpFrac = 0.60;
+            a.branchNoise = 0.02;
+        }
+    }
+
+    P &mix(double ld, double st, double br)
+    {
+        a.loadFrac = ld;
+        a.storeFrac = st;
+        a.branchFrac = br;
+        return *this;
+    }
+    P &fpOps(double frac) { a.fpOpFrac = frac; return *this; }
+    P &code(std::uint64_t b) { a.codeBytes = (std::uint32_t)b; return *this; }
+    P &hot(std::uint64_t b) { a.hotBytes = b; return *this; }
+    P &cold(std::uint64_t bytes, AccessPattern pat, double frac)
+    {
+        a.coldBytes = bytes;
+        a.coldPattern = pat;
+        a.coldFrac = frac;
+        return *this;
+    }
+    P &stride(std::uint32_t b) { a.strideBytes = b; return *this; }
+    P &step(std::uint32_t b) { a.streamStepBytes = b; return *this; }
+    P &streams(std::uint32_t n) { a.streamCount = n; return *this; }
+    P &ilp(double mean) { a.depMean = mean; return *this; }
+    P &noise(double n) { a.branchNoise = n; return *this; }
+    P &runs(std::uint32_t n) { a.coldRunLines = n; return *this; }
+    P &freeFrac(double f) { a.depFreeFrac = f; return *this; }
+    P &chains(std::uint32_t n) { a.chaseChains = n; return *this; }
+};
+
+std::vector<AppProfile>
+buildProfiles()
+{
+    using AP = AccessPattern;
+    std::vector<AppProfile> v;
+    auto add = [&v](P p) { v.push_back(std::move(p.a)); };
+
+    // ---------------- SPEC INT 2000 ----------------
+    add(P("gzip", AppCategory::Ilp, false)
+            .mix(0.22, 0.12, 0.13).code(48 * KiB)
+            .cold(256 * KiB, AP::Streaming, 0.04).step(32)
+            .ilp(3.5).noise(0.02));
+    add(P("vpr", AppCategory::Mem, false)
+            .mix(0.28, 0.09, 0.11)
+            .cold(16 * MiB, AP::Random, 0.10)
+            .ilp(4).noise(0.015).runs(2));
+    add(P("gcc", AppCategory::Mid, false)
+            .mix(0.26, 0.13, 0.15).code(256 * KiB)
+            .cold(6 * MiB, AP::Mixed, 0.06).ilp(5).noise(0.025));
+    add(P("mcf", AppCategory::Mem, false)
+            .mix(0.30, 0.08, 0.12).hot(16 * KiB)
+            .cold(192 * MiB, AP::PointerChase, 0.18)
+            .ilp(2.5).noise(0.015).runs(2).chains(7).freeFrac(0.10));
+    add(P("crafty", AppCategory::Ilp, false)
+            .mix(0.27, 0.09, 0.13).code(96 * KiB)
+            .cold(384 * KiB, AP::Random, 0.05).ilp(4).noise(0.015));
+    add(P("parser", AppCategory::Mid, false)
+            .mix(0.26, 0.10, 0.14)
+            .cold(12 * MiB, AP::Random, 0.05).ilp(4).noise(0.015));
+    add(P("eon", AppCategory::Ilp, false)
+            .mix(0.25, 0.14, 0.11).fpOps(0.20).code(128 * KiB)
+            .cold(256 * KiB, AP::Random, 0.03).ilp(4).noise(0.015));
+    add(P("perlbmk", AppCategory::Mid, false)
+            .mix(0.25, 0.12, 0.14).code(192 * KiB)
+            .cold(3 * MiB, AP::Mixed, 0.05).ilp(5).noise(0.02));
+    add(P("gap", AppCategory::Mid, false)
+            .mix(0.24, 0.10, 0.10)
+            .cold(12 * MiB, AP::Streaming, 0.06).step(16).streams(2)
+            .ilp(6));
+    add(P("vortex", AppCategory::Mid, false)
+            .mix(0.27, 0.14, 0.12).code(192 * KiB)
+            .cold(6 * MiB, AP::Mixed, 0.06).ilp(6).noise(0.02));
+    add(P("bzip2", AppCategory::Ilp, false)
+            .mix(0.24, 0.10, 0.12)
+            .cold(512 * KiB, AP::Mixed, 0.05).ilp(3.5).noise(0.02));
+    add(P("twolf", AppCategory::Mid, false)
+            .mix(0.25, 0.09, 0.13)
+            .cold(2 * MiB, AP::Random, 0.10).ilp(5).noise(0.015));
+
+    // ---------------- SPEC FP 2000 ----------------
+    add(P("wupwise", AppCategory::Ilp, true)
+            .mix(0.25, 0.10, 0.05)
+            .cold(384 * KiB, AP::Streaming, 0.06).step(16).ilp(4.5));
+    add(P("swim", AppCategory::Mem, true)
+            .mix(0.30, 0.12, 0.03).fpOps(0.65)
+            .cold(96 * MiB, AP::Streaming, 0.14).step(32).streams(4)
+            .ilp(8));
+    add(P("mgrid", AppCategory::Mid, true)
+            .mix(0.32, 0.08, 0.03).fpOps(0.65)
+            .cold(32 * MiB, AP::Strided, 0.10).stride(192).ilp(8));
+    add(P("applu", AppCategory::Mem, true)
+            .mix(0.30, 0.10, 0.03).fpOps(0.65)
+            .cold(48 * MiB, AP::Strided, 0.15).stride(320).ilp(7));
+    add(P("mesa", AppCategory::Ilp, true)
+            .mix(0.24, 0.12, 0.08).fpOps(0.50)
+            .cold(384 * KiB, AP::Streaming, 0.04).step(16).ilp(4));
+    add(P("galgel", AppCategory::Ilp, true)
+            .mix(0.28, 0.08, 0.05).fpOps(0.70)
+            .cold(384 * KiB, AP::Strided, 0.08).stride(128).ilp(4.5));
+    add(P("art", AppCategory::Mid, true)
+            .mix(0.30, 0.06, 0.06)
+            .cold(3 * MiB + 512 * KiB, AP::Streaming, 0.35)
+            .step(8).streams(3).ilp(5));
+    add(P("equake", AppCategory::Mem, true)
+            .mix(0.30, 0.08, 0.06)
+            .cold(24 * MiB, AP::Mixed, 0.12).ilp(5).runs(2));
+    add(P("facerec", AppCategory::Mem, true)
+            .mix(0.28, 0.08, 0.05)
+            .cold(16 * MiB, AP::Streaming, 0.14).step(16).streams(2)
+            .ilp(7));
+    add(P("ammp", AppCategory::Mem, true)
+            .mix(0.28, 0.09, 0.06)
+            .cold(24 * MiB, AP::PointerChase, 0.07)
+            .ilp(4).runs(2).chains(2).freeFrac(0.12));
+    add(P("lucas", AppCategory::Mem, true)
+            .mix(0.28, 0.10, 0.03).fpOps(0.65)
+            .cold(64 * MiB, AP::Strided, 0.08).stride(1088).ilp(7));
+    add(P("fma3d", AppCategory::Mid, true)
+            .mix(0.28, 0.12, 0.05)
+            .cold(8 * MiB, AP::Mixed, 0.06).ilp(6));
+    add(P("sixtrack", AppCategory::Ilp, true)
+            .mix(0.22, 0.08, 0.06).fpOps(0.70)
+            .cold(256 * KiB, AP::Strided, 0.06).stride(128).ilp(5));
+    add(P("apsi", AppCategory::Mid, true)
+            .mix(0.26, 0.10, 0.05)
+            .cold(12 * MiB, AP::Strided, 0.08).stride(256).ilp(6));
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+spec2000Profiles()
+{
+    static const std::vector<AppProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const AppProfile &
+specProfile(const std::string &name)
+{
+    for (const AppProfile &p : spec2000Profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown SPEC2000 application '%s'", name.c_str());
+}
+
+const std::vector<WorkloadMix> &
+table2Mixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        {"2-ILP", {"bzip2", "gzip"}},
+        {"2-MIX", {"gzip", "mcf"}},
+        {"2-MEM", {"mcf", "ammp"}},
+        {"4-ILP", {"bzip2", "gzip", "sixtrack", "eon"}},
+        {"4-MIX", {"gzip", "mcf", "bzip2", "ammp"}},
+        {"4-MEM", {"mcf", "ammp", "swim", "lucas"}},
+        {"8-ILP",
+         {"gzip", "bzip2", "sixtrack", "eon", "mesa", "galgel",
+          "crafty", "wupwise"}},
+        {"8-MIX",
+         {"gzip", "mcf", "bzip2", "ammp", "sixtrack", "swim", "eon",
+          "lucas"}},
+        {"8-MEM",
+         {"mcf", "ammp", "swim", "lucas", "equake", "applu", "vpr",
+          "facerec"}},
+    };
+    return mixes;
+}
+
+const WorkloadMix &
+mixByName(const std::string &name)
+{
+    for (const WorkloadMix &m : table2Mixes()) {
+        if (m.name == name)
+            return m;
+    }
+    fatal("unknown workload mix '%s' (expected e.g. 4-MEM)",
+          name.c_str());
+}
+
+} // namespace smtdram

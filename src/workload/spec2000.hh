@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Behavioural profiles for the 26 SPEC CPU2000 applications used in
+ * the paper, and the Table 2 workload mixes.
+ *
+ * Profile parameters are calibrated so the single-thread CPI
+ * breakdown (Figure 1) reproduces the paper's qualitative shape:
+ * mcf has by far the largest CPImem; ammp/swim/lucas/equake/applu/
+ * vpr/facerec are clearly memory-bound; gzip/bzip2/sixtrack/eon/
+ * mesa/galgel/crafty/wupwise are compute-bound.  See
+ * tests/workload/spec_profiles_test.cc for the enforced invariants.
+ */
+
+#ifndef SMTDRAM_WORKLOAD_SPEC2000_HH
+#define SMTDRAM_WORKLOAD_SPEC2000_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/app_profile.hh"
+
+namespace smtdram
+{
+
+/** All 26 SPEC2000 profiles, in a stable order. */
+const std::vector<AppProfile> &spec2000Profiles();
+
+/** Lookup by benchmark name; fatal()s if unknown. */
+const AppProfile &specProfile(const std::string &name);
+
+/** One row of Table 2. */
+struct WorkloadMix {
+    std::string name;  ///< e.g. "4-MEM"
+    std::vector<std::string> apps;
+};
+
+/** The nine mixes of Table 2 (2/4/8 threads x ILP/MIX/MEM). */
+const std::vector<WorkloadMix> &table2Mixes();
+
+/** Lookup a mix by name ("2-ILP" ... "8-MEM"); fatal()s if unknown. */
+const WorkloadMix &mixByName(const std::string &name);
+
+} // namespace smtdram
+
+#endif // SMTDRAM_WORKLOAD_SPEC2000_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic synthetic instruction stream driven by an AppProfile.
+ */
+
+#ifndef SMTDRAM_WORKLOAD_SYNTHETIC_STREAM_HH
+#define SMTDRAM_WORKLOAD_SYNTHETIC_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "cpu/instruction.hh"
+#include "workload/app_profile.hh"
+
+namespace smtdram
+{
+
+/**
+ * InstStream implementation synthesizing a stationary stream with the
+ * profile's mix, ILP, branch behaviour, and memory access pattern.
+ *
+ * Virtual-address layout (per thread; address spaces are private):
+ *   [kCodeBase, +codeBytes)  instruction fetch region
+ *   [kHotBase,  +hotBytes)   cache-resident data
+ *   [kColdBase, +coldBytes)  large working set
+ */
+class SyntheticStream : public InstStream
+{
+  public:
+    SyntheticStream(const AppProfile &profile, std::uint64_t seed);
+
+    MicroOp next() override;
+
+    const AppProfile &profile() const { return profile_; }
+
+    static constexpr Addr kCodeBase = 0x0040'0000;
+    static constexpr Addr kHotBase = 0x1000'0000;
+    static constexpr Addr kColdBase = 0x2000'0000;
+
+  private:
+    Addr coldAddress();
+    void makeBranch(MicroOp &op);
+    std::uint8_t depDistance();
+
+    AppProfile profile_;
+    Rng rng_;
+    /** Salt deriving the per-PC fixed "program text". */
+    std::uint64_t textSalt_;
+
+    Addr pc_;
+    Addr streamCursor_ = 0;
+    std::uint32_t streamIdx_ = 0;
+    Addr strideCursor_ = 0;
+    /** Sequential-run state for Random/PointerChase locality. */
+    Addr runCursor_ = 0;
+    std::uint32_t runRemaining_ = 0;
+    /** Seed-derived phase shift decorrelating threads' mem phases. */
+    std::uint64_t phaseOffset_ = 0;
+    /** Stream indices of each chase chain's latest load. */
+    std::vector<std::uint64_t> chainHistory_;
+    std::uint32_t chainCursor_ = 0;
+    std::uint64_t emitted_ = 0;
+
+    /** Per-branch-slot loop trip counters for predictable exits. */
+    std::vector<std::uint16_t> loopCounters_;
+    /** Generator-side shadow of the RAS for matched call/return. */
+    std::vector<Addr> callStack_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_WORKLOAD_SYNTHETIC_STREAM_HH

@@ -1,0 +1,156 @@
+#include "workload/trace.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+namespace
+{
+
+constexpr char kMagic[13] = "SMTDRAMTRACE";
+constexpr std::uint8_t kVersion = 1;
+constexpr size_t kHeaderBytes = 16;
+
+/** On-disk record: fixed 32 bytes, little-endian fields. */
+struct TraceRecord {
+    std::uint64_t pc;
+    std::uint64_t effAddr;
+    std::uint64_t nextPc;
+    std::uint8_t cls;
+    std::uint8_t flags;  // bit0 taken, bit1 call, bit2 return
+    std::uint8_t dep1;
+    std::uint8_t dep2;
+    std::uint8_t pad[4];
+};
+static_assert(sizeof(TraceRecord) == 32, "trace record layout");
+
+TraceRecord
+encode(const MicroOp &op)
+{
+    TraceRecord r{};
+    r.pc = op.pc;
+    r.effAddr = op.effAddr;
+    r.nextPc = op.nextPc;
+    r.cls = static_cast<std::uint8_t>(op.cls);
+    r.flags = static_cast<std::uint8_t>((op.taken ? 1 : 0) |
+                                        (op.isCall ? 2 : 0) |
+                                        (op.isReturn ? 4 : 0));
+    r.dep1 = op.dep1;
+    r.dep2 = op.dep2;
+    return r;
+}
+
+MicroOp
+decode(const TraceRecord &r)
+{
+    MicroOp op;
+    op.pc = r.pc;
+    op.effAddr = r.effAddr;
+    op.nextPc = r.nextPc;
+    op.cls = static_cast<OpClass>(r.cls);
+    op.taken = (r.flags & 1) != 0;
+    op.isCall = (r.flags & 2) != 0;
+    op.isReturn = (r.flags & 4) != 0;
+    op.dep1 = r.dep1;
+    op.dep2 = r.dep2;
+    return op;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    fatal_if(file_ == nullptr, "cannot open trace '%s' for writing",
+             path.c_str());
+    char header[kHeaderBytes] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic) - 1);
+    header[12] = kVersion;
+    fatal_if(std::fwrite(header, 1, kHeaderBytes, file_) !=
+                 kHeaderBytes,
+             "cannot write trace header to '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::write(const MicroOp &op)
+{
+    panic_if(file_ == nullptr, "write to a closed TraceWriter");
+    const TraceRecord r = encode(op);
+    panic_if(std::fwrite(&r, sizeof(r), 1, file_) != 1,
+             "short write to trace file");
+    ++written_;
+}
+
+void
+TraceWriter::close()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(file_ == nullptr, "cannot open trace '%s'", path.c_str());
+
+    char header[kHeaderBytes] = {};
+    fatal_if(std::fread(header, 1, kHeaderBytes, file_) != kHeaderBytes,
+             "trace '%s' is too short for a header", path.c_str());
+    fatal_if(std::memcmp(header, kMagic, sizeof(kMagic) - 1) != 0,
+             "trace '%s' has a bad magic number", path.c_str());
+    fatal_if(header[12] != kVersion,
+             "trace '%s' has unsupported version %d", path.c_str(),
+             header[12]);
+
+    fatal_if(std::fseek(file_, 0, SEEK_END) != 0, "seek failed");
+    const long end = std::ftell(file_);
+    fatal_if(end < 0, "ftell failed");
+    const std::uint64_t body =
+        static_cast<std::uint64_t>(end) - kHeaderBytes;
+    fatal_if(body % sizeof(TraceRecord) != 0,
+             "trace '%s' is truncated mid-record", path.c_str());
+    count_ = body / sizeof(TraceRecord);
+    fatal_if(count_ == 0, "trace '%s' contains no instructions",
+             path.c_str());
+    rewind();
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+TraceReader::rewind()
+{
+    panic_if(std::fseek(file_, kHeaderBytes, SEEK_SET) != 0,
+             "trace rewind failed");
+    readInLap_ = 0;
+}
+
+MicroOp
+TraceReader::next()
+{
+    if (readInLap_ == count_) {
+        rewind();
+        ++laps_;
+    }
+    TraceRecord r;
+    panic_if(std::fread(&r, sizeof(r), 1, file_) != 1,
+             "short read from trace file");
+    ++readInLap_;
+    return decode(r);
+}
+
+} // namespace smtdram

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Instruction-trace capture and replay.
+ *
+ * Any InstStream can be recorded to a compact binary trace file and
+ * replayed later, turning the execution-driven simulator into a
+ * trace-driven one.  Uses: pinning a workload exactly across
+ * simulator versions, shipping reproducers for bug reports, and
+ * feeding externally generated traces (e.g. converted from a real
+ * trace format) into the core.
+ *
+ * Format: an 16-byte header ("SMTDRAMTRACE\1" + flags) followed by
+ * fixed-size little-endian records, one per instruction.
+ */
+
+#ifndef SMTDRAM_WORKLOAD_TRACE_HH
+#define SMTDRAM_WORKLOAD_TRACE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cpu/instruction.hh"
+
+namespace smtdram
+{
+
+/** Serializes MicroOps produced by an upstream stream to a file. */
+class TraceWriter
+{
+  public:
+    /** Opens @p path for writing; fatal()s on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one instruction. */
+    void write(const MicroOp &op);
+
+    /** Flush and close; called by the destructor if needed. */
+    void close();
+
+    std::uint64_t written() const { return written_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t written_ = 0;
+};
+
+/**
+ * InstStream that replays a trace file.  When the trace is
+ * exhausted it rewinds and replays from the start (measurement
+ * budgets may exceed the recorded length), counting laps.
+ */
+class TraceReader : public InstStream
+{
+  public:
+    /** Opens @p path; fatal()s if missing or malformed. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    MicroOp next() override;
+
+    std::uint64_t instructionsInTrace() const { return count_; }
+    std::uint64_t laps() const { return laps_; }
+
+  private:
+    void rewind();
+
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t readInLap_ = 0;
+    std::uint64_t laps_ = 0;
+};
+
+/**
+ * Pass-through stream that records everything flowing from
+ * @p upstream into @p writer — wrap a SyntheticStream with this to
+ * capture a workload while simulating it.
+ */
+class RecordingStream : public InstStream
+{
+  public:
+    RecordingStream(InstStream &upstream, TraceWriter &writer)
+        : upstream_(upstream), writer_(writer)
+    {
+    }
+
+    MicroOp
+    next() override
+    {
+        MicroOp op = upstream_.next();
+        writer_.write(op);
+        return op;
+    }
+
+  private:
+    InstStream &upstream_;
+    TraceWriter &writer_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_WORKLOAD_TRACE_HH

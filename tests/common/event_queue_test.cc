@@ -1,0 +1,90 @@
+/** @file Unit tests for the cycle-ordered event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.runUntil(7);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, DoesNotRunFutureEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(11, [&] { ++fired; });
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.size(), 1u);
+    q.runUntil(11);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbackMayScheduleMore)
+{
+    EventQueue q;
+    std::vector<Cycle> fired;
+    q.schedule(5, [&] {
+        fired.push_back(5);
+        q.schedule(6, [&] { fired.push_back(6); });
+        // Same-cycle re-scheduling also runs within this runUntil.
+        q.schedule(5, [&] { fired.push_back(55); });
+    });
+    q.runUntil(6);
+    EXPECT_EQ(fired, (std::vector<Cycle>{5, 55, 6}));
+}
+
+TEST(EventQueue, NextEventAt)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventAt(), kCycleNever);
+    q.schedule(42, [] {});
+    q.schedule(17, [] {});
+    EXPECT_EQ(q.nextEventAt(), 17u);
+    q.runUntil(17);
+    EXPECT_EQ(q.nextEventAt(), 42u);
+}
+
+TEST(EventQueue, NowAdvances)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    q.runUntil(9);
+    EXPECT_EQ(q.now(), 9u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.runUntil(10);
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace smtdram

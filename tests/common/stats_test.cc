@@ -1,0 +1,157 @@
+/** @file Unit tests for the statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(9.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Distribution, MergeCombinesExactly)
+{
+    Distribution a, b;
+    a.sample(1.0);
+    a.sample(3.0);
+    b.sample(10.0);
+    Distribution m = mergeDistributions(a, b);
+    EXPECT_EQ(m.count(), 3u);
+    EXPECT_DOUBLE_EQ(m.sum(), 14.0);
+    EXPECT_DOUBLE_EQ(m.min(), 1.0);
+    EXPECT_DOUBLE_EQ(m.max(), 10.0);
+}
+
+TEST(Distribution, MergeWithEmptyIsIdentity)
+{
+    Distribution a, empty;
+    a.sample(5.0);
+    Distribution m = mergeDistributions(a, empty);
+    EXPECT_EQ(m.count(), 1u);
+    EXPECT_DOUBLE_EQ(m.min(), 5.0);
+    EXPECT_DOUBLE_EQ(m.max(), 5.0);
+}
+
+TEST(Histogram, PaperFigure4Buckets)
+{
+    // Bounds {1,4,8,16}: buckets [0,1], [2,4], [5,8], [9,16], >16.
+    Histogram h({1, 4, 8, 16});
+    ASSERT_EQ(h.numBuckets(), 5u);
+    h.sample(1);
+    h.sample(2);
+    h.sample(4);
+    h.sample(8);
+    h.sample(16);
+    h.sample(17);
+    h.sample(100);
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(4), 2u);
+}
+
+TEST(Histogram, BucketFractionsSumToOne)
+{
+    Histogram h({1, 4, 8, 16});
+    for (std::uint64_t v = 0; v < 40; ++v)
+        h.sample(v);
+    double sum = 0.0;
+    for (size_t i = 0; i < h.numBuckets(); ++i)
+        sum += h.bucketFraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, Labels)
+{
+    Histogram h({1, 4, 8, 16});
+    EXPECT_EQ(h.bucketLabel(0), "0-1");
+    EXPECT_EQ(h.bucketLabel(1), "2-4");
+    EXPECT_EQ(h.bucketLabel(2), "5-8");
+    EXPECT_EQ(h.bucketLabel(3), "9-16");
+    EXPECT_EQ(h.bucketLabel(4), ">16");
+}
+
+TEST(Histogram, SingleValueBucketLabel)
+{
+    Histogram h({1, 2, 3});
+    EXPECT_EQ(h.bucketLabel(1), "2");
+    EXPECT_EQ(h.bucketLabel(2), "3");
+}
+
+TEST(Histogram, FractionAboveExact)
+{
+    Histogram h({1, 4, 8, 16});
+    h.sample(5);
+    h.sample(9);
+    h.sample(20);
+    h.sample(200);  // beyond the raw-tracking cap
+    EXPECT_NEAR(h.fractionAbove(8), 3.0 / 4.0, 1e-12);
+    EXPECT_NEAR(h.fractionAbove(4), 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFractions)
+{
+    Histogram h({1, 2});
+    EXPECT_DOUBLE_EQ(h.bucketFraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(1), 0.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h({1, 2});
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(RatioStat, Rates)
+{
+    RatioStat r;
+    EXPECT_DOUBLE_EQ(r.missRate(), 0.0);
+    r.hit();
+    r.hit();
+    r.hit();
+    r.miss();
+    EXPECT_EQ(r.total(), 4u);
+    EXPECT_DOUBLE_EQ(r.missRate(), 0.25);
+    EXPECT_DOUBLE_EQ(r.hitRate(), 0.75);
+    r.reset();
+    EXPECT_EQ(r.total(), 0u);
+}
+
+} // namespace
+} // namespace smtdram

@@ -1,0 +1,172 @@
+/** @file Unit tests for the hybrid branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+MicroOp
+branchAt(Addr pc, bool taken, Addr target)
+{
+    MicroOp op;
+    op.cls = OpClass::Branch;
+    op.pc = pc;
+    op.taken = taken;
+    op.nextPc = taken ? target : pc + 4;
+    return op;
+}
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(BranchPredictorConfig{}, 1);
+    const MicroOp op = branchAt(0x1000, true, 0x800);
+    // The 12-deep global history register churns the table index
+    // until it saturates, so allow ~20 warm-up outcomes.
+    int correct_late = 0;
+    for (int i = 0; i < 50; ++i) {
+        const BranchPrediction pred = bp.predict(0, op);
+        const bool correct = bp.update(0, op, pred);
+        if (i >= 20)
+            correct_late += correct ? 1 : 0;
+    }
+    EXPECT_EQ(correct_late, 30);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp(BranchPredictorConfig{}, 1);
+    const MicroOp op = branchAt(0x1000, false, 0);
+    int correct_late = 0;
+    for (int i = 0; i < 50; ++i) {
+        const BranchPrediction pred = bp.predict(0, op);
+        if (bp.update(0, op, pred) && i >= 10)
+            ++correct_late;
+    }
+    EXPECT_EQ(correct_late, 40);
+}
+
+TEST(BranchPredictor, LearnsAlternatingPattern)
+{
+    // T,N,T,N... is learnable from 1 bit of local history.
+    BranchPredictor bp(BranchPredictorConfig{}, 1);
+    int correct_late = 0;
+    for (int i = 0; i < 200; ++i) {
+        const MicroOp op = branchAt(0x2000, i % 2 == 0, 0x1800);
+        const BranchPrediction pred = bp.predict(0, op);
+        if (bp.update(0, op, pred) && i >= 100)
+            ++correct_late;
+    }
+    EXPECT_GE(correct_late, 95);
+}
+
+TEST(BranchPredictor, TakenNeedsBtbTarget)
+{
+    BranchPredictor bp(BranchPredictorConfig{}, 1);
+    const MicroOp op = branchAt(0x3000, true, 0x2000);
+    // First encounter: even if direction guessed taken, the BTB has
+    // no target, so it cannot be fully correct.
+    const BranchPrediction pred = bp.predict(0, op);
+    EXPECT_FALSE(pred.targetValid);
+    EXPECT_FALSE(bp.update(0, op, pred));
+    // After training, the target comes from the BTB.
+    for (int i = 0; i < 30; ++i)
+        bp.update(0, op, bp.predict(0, op));
+    const BranchPrediction trained = bp.predict(0, op);
+    EXPECT_TRUE(trained.taken);
+    EXPECT_TRUE(trained.targetValid);
+    EXPECT_EQ(trained.target, 0x2000u);
+}
+
+TEST(BranchPredictor, BtbTargetChangeIsMispredicted)
+{
+    BranchPredictor bp(BranchPredictorConfig{}, 1);
+    MicroOp op = branchAt(0x3000, true, 0x2000);
+    for (int i = 0; i < 10; ++i)
+        bp.update(0, op, bp.predict(0, op));
+    // The branch suddenly goes elsewhere (indirect branch).
+    op.nextPc = 0x4000;
+    const BranchPrediction pred = bp.predict(0, op);
+    EXPECT_FALSE(bp.update(0, op, pred));
+}
+
+TEST(BranchPredictor, RasPredictsMatchedReturns)
+{
+    BranchPredictor bp(BranchPredictorConfig{}, 1);
+
+    MicroOp call;
+    call.cls = OpClass::Branch;
+    call.pc = 0x5000;
+    call.taken = true;
+    call.isCall = true;
+    call.nextPc = 0x9000;
+    bp.update(0, call, bp.predict(0, call));
+
+    MicroOp ret;
+    ret.cls = OpClass::Branch;
+    ret.pc = 0x9100;
+    ret.taken = true;
+    ret.isReturn = true;
+    ret.nextPc = 0x5004;  // call site + 4
+    const BranchPrediction pred = bp.predict(0, ret);
+    EXPECT_TRUE(pred.targetValid);
+    EXPECT_EQ(pred.target, 0x5004u);
+    EXPECT_TRUE(bp.update(0, ret, pred));
+}
+
+TEST(BranchPredictor, RasIsPerThread)
+{
+    BranchPredictor bp(BranchPredictorConfig{}, 2);
+    MicroOp call;
+    call.cls = OpClass::Branch;
+    call.pc = 0x5000;
+    call.taken = true;
+    call.isCall = true;
+    call.nextPc = 0x9000;
+    bp.update(0, call, bp.predict(0, call));
+
+    // Thread 1 never called: its return stack is empty.
+    MicroOp ret;
+    ret.cls = OpClass::Branch;
+    ret.pc = 0x9100;
+    ret.taken = true;
+    ret.isReturn = true;
+    ret.nextPc = 0x5004;
+    const BranchPrediction pred = bp.predict(1, ret);
+    EXPECT_FALSE(pred.targetValid);
+}
+
+TEST(BranchPredictor, StatsCount)
+{
+    BranchPredictor bp(BranchPredictorConfig{}, 1);
+    const MicroOp op = branchAt(0x1000, true, 0x800);
+    for (int i = 0; i < 60; ++i)
+        bp.update(0, op, bp.predict(0, op));
+    EXPECT_EQ(bp.stats().total(), 60u);
+    EXPECT_GT(bp.stats().hits(), 30u);
+    bp.resetStats();
+    EXPECT_EQ(bp.stats().total(), 0u);
+}
+
+TEST(BranchPredictor, ThreadsShareTablesButNotHistory)
+{
+    // Same branch behaviour from two threads must both be learnable
+    // (they share the counter tables, histories are per thread).
+    BranchPredictor bp(BranchPredictorConfig{}, 2);
+    const MicroOp op = branchAt(0x7000, true, 0x6000);
+    int late_correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        for (ThreadId t : {0u, 1u}) {
+            const BranchPrediction pred = bp.predict(t, op);
+            if (bp.update(t, op, pred) && i >= 50)
+                ++late_correct;
+        }
+    }
+    EXPECT_GE(late_correct, 95);
+}
+
+} // namespace
+} // namespace smtdram

@@ -1,0 +1,154 @@
+/** @file Unit tests for the SMT fetch policies. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/fetch_policy.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+FetchThreadState
+thread(ThreadId tid, std::uint32_t icount, std::uint32_t dmiss = 0,
+       std::uint32_t l2miss = 0, bool fetchable = true)
+{
+    FetchThreadState s;
+    s.tid = tid;
+    s.fetchable = fetchable;
+    s.frontEndCount = icount;
+    s.pendingDataMisses = dmiss;
+    s.pendingL2Misses = l2miss;
+    return s;
+}
+
+TEST(FetchPolicyNames, RoundTrip)
+{
+    for (FetchPolicyKind k : allFetchPolicyKinds())
+        EXPECT_EQ(fetchPolicyFromName(fetchPolicyName(k)), k);
+    EXPECT_EQ(fetchPolicyFromName("icount"), FetchPolicyKind::Icount);
+    EXPECT_EQ(fetchPolicyFromName("fetch-stall"),
+              FetchPolicyKind::FetchStall);
+    EXPECT_EQ(fetchPolicyFromName("rr"), FetchPolicyKind::RoundRobin);
+}
+
+TEST(FetchPolicyNamesDeathTest, UnknownFatal)
+{
+    EXPECT_EXIT((void)fetchPolicyFromName("bogus"),
+                testing::ExitedWithCode(1), "unknown fetch policy");
+}
+
+TEST(Icount, FewestInstructionsFirst)
+{
+    const auto order = rankFetchThreads(
+        FetchPolicyKind::Icount,
+        {thread(0, 40), thread(1, 5), thread(2, 20)}, 0);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 2u);
+    EXPECT_EQ(order[2], 0u);
+}
+
+TEST(Icount, UnfetchableThreadsExcluded)
+{
+    const auto order = rankFetchThreads(
+        FetchPolicyKind::Icount,
+        {thread(0, 40), thread(1, 5, 0, 0, false)}, 0);
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], 0u);
+}
+
+TEST(RoundRobin, RotationCyclesPriority)
+{
+    const std::vector<FetchThreadState> threads = {
+        thread(0, 1), thread(1, 2), thread(2, 3)};
+    EXPECT_EQ(rankFetchThreads(FetchPolicyKind::RoundRobin, threads,
+                               0)[0],
+              0u);
+    EXPECT_EQ(rankFetchThreads(FetchPolicyKind::RoundRobin, threads,
+                               1)[0],
+              1u);
+    EXPECT_EQ(rankFetchThreads(FetchPolicyKind::RoundRobin, threads,
+                               2)[0],
+              2u);
+}
+
+TEST(Dg, GatesThreadsWithDataMisses)
+{
+    const auto order = rankFetchThreads(
+        FetchPolicyKind::Dg, {thread(0, 5, 2), thread(1, 40)}, 0);
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], 1u);
+}
+
+TEST(Dg, MayGateEveryone)
+{
+    const auto order = rankFetchThreads(
+        FetchPolicyKind::Dg, {thread(0, 5, 2), thread(1, 40, 1)}, 0);
+    EXPECT_TRUE(order.empty());
+}
+
+TEST(FetchStall, GatesOnL2MissesButKeepsOne)
+{
+    // Thread 0 has a long-latency miss, thread 1 does not.
+    const auto gated = rankFetchThreads(
+        FetchPolicyKind::FetchStall,
+        {thread(0, 5, 0, 3), thread(1, 40)}, 0);
+    ASSERT_EQ(gated.size(), 1u);
+    EXPECT_EQ(gated[0], 1u);
+
+    // Everyone has long-latency misses: fall back to ICOUNT over all
+    // (at least one thread stays eligible).
+    const auto all = rankFetchThreads(
+        FetchPolicyKind::FetchStall,
+        {thread(0, 5, 0, 3), thread(1, 40, 0, 1)}, 0);
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0], 0u);  // ICOUNT order
+}
+
+TEST(DWarn, MissThreadsFormLowerPriorityGroup)
+{
+    // DWarn does not gate; it deprioritizes.
+    const auto order = rankFetchThreads(
+        FetchPolicyKind::DWarn,
+        {thread(0, 5, 2), thread(1, 40), thread(2, 10, 1)}, 0);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1u);  // the only clean thread leads
+    EXPECT_EQ(order[1], 0u);  // then ICOUNT within the miss group
+    EXPECT_EQ(order[2], 2u);
+}
+
+TEST(DWarn, IcountWithinCleanGroup)
+{
+    const auto order = rankFetchThreads(
+        FetchPolicyKind::DWarn,
+        {thread(0, 30), thread(1, 10), thread(2, 20, 4)}, 0);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 0u);
+    EXPECT_EQ(order[2], 2u);
+}
+
+TEST(AllPolicies, EmptyInputYieldsEmptyOrder)
+{
+    for (FetchPolicyKind k : allFetchPolicyKinds())
+        EXPECT_TRUE(rankFetchThreads(k, {}, 0).empty());
+}
+
+TEST(AllPolicies, TieBreakIsRotationFair)
+{
+    // Identical threads: the leader must rotate with the counter.
+    for (FetchPolicyKind k :
+         {FetchPolicyKind::Icount, FetchPolicyKind::DWarn}) {
+        const std::vector<FetchThreadState> threads = {
+            thread(0, 7), thread(1, 7), thread(2, 7), thread(3, 7)};
+        std::vector<ThreadId> leaders;
+        for (std::uint64_t rot = 0; rot < 4; ++rot)
+            leaders.push_back(rankFetchThreads(k, threads, rot)[0]);
+        EXPECT_EQ(leaders, (std::vector<ThreadId>{0, 1, 2, 3}))
+            << fetchPolicyName(k);
+    }
+}
+
+} // namespace
+} // namespace smtdram

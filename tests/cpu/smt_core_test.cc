@@ -1,0 +1,313 @@
+/** @file Unit tests for the SMT out-of-order core. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.hh"
+#include "cpu/smt_core.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+/** Scripted stream: endless repetition of a fixed op template. */
+class FixedStream : public InstStream
+{
+  public:
+    explicit FixedStream(MicroOp tmpl) : tmpl_(tmpl) {}
+
+    MicroOp
+    next() override
+    {
+        MicroOp op = tmpl_;
+        op.pc = pc_;
+        pc_ += 4;
+        if (pc_ >= kBase + 2048)
+            pc_ = kBase;
+        return op;
+    }
+
+    static constexpr Addr kBase = 0x40'0000;
+
+  private:
+    MicroOp tmpl_;
+    Addr pc_ = kBase;
+};
+
+MicroOp
+alu(std::uint8_t dep = 0)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.dep1 = dep;
+    return op;
+}
+
+/** Core + hierarchy + DRAM bundle for the tests. */
+class CoreHarness
+{
+  public:
+    explicit CoreHarness(CoreConfig config,
+                         HierarchyConfig hier = HierarchyConfig{})
+        : dram(DramConfig::ddrSdram(2), SchedulerKind::HitFirst),
+          hierarchy(hier, dram, events, config.numThreads),
+          core(config, hierarchy)
+    {
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle c = now + 1; c <= now + cycles; ++c) {
+            events.runUntil(c);
+            dram.tick(c);
+            hierarchy.tick(c);
+            core.cycle(c);
+        }
+        now += cycles;
+    }
+
+    /** Steady-state IPC of thread 0 measured after a warm window. */
+    double
+    steadyIpc(Cycle warm = 30000, Cycle measure = 30000)
+    {
+        run(warm);
+        const std::uint64_t base = core.perf(0).committedInsts;
+        run(measure);
+        return static_cast<double>(core.perf(0).committedInsts -
+                                   base) /
+               measure;
+    }
+
+    EventQueue events;
+    DramSystem dram;
+    Hierarchy hierarchy;
+    SmtCore core;
+    Cycle now = 0;
+};
+
+CoreConfig
+oneThread()
+{
+    CoreConfig c;
+    c.numThreads = 1;
+    return c;
+}
+
+TEST(SmtCore, IndependentAluSaturatesAluUnits)
+{
+    CoreHarness h(oneThread());
+    FixedStream s(alu(0));
+    h.core.bindStream(0, &s);
+    // 6 IntALUs bound the rate below the 8-wide front end.
+    EXPECT_NEAR(h.steadyIpc(), 6.0, 0.2);
+}
+
+TEST(SmtCore, SerialChainRunsAtOnePerCycle)
+{
+    CoreHarness h(oneThread());
+    FixedStream s(alu(1));
+    h.core.bindStream(0, &s);
+    EXPECT_NEAR(h.steadyIpc(), 1.0, 0.05);
+}
+
+TEST(SmtCore, DistanceTwoChainsDoubleThroughput)
+{
+    CoreHarness h(oneThread());
+    FixedStream s(alu(2));
+    h.core.bindStream(0, &s);
+    EXPECT_NEAR(h.steadyIpc(), 2.0, 0.1);
+}
+
+TEST(SmtCore, IntMultLatencyBoundsChain)
+{
+    CoreConfig config = oneThread();
+    CoreHarness h(config);
+    MicroOp op;
+    op.cls = OpClass::IntMult;
+    op.dep1 = 1;
+    FixedStream s(op);
+    h.core.bindStream(0, &s);
+    // A serial chain of 7-cycle multiplies: ~1/7 IPC.
+    EXPECT_NEAR(h.steadyIpc(), 1.0 / 7.0, 0.02);
+}
+
+TEST(SmtCore, FpOpsUseFpQueue)
+{
+    CoreHarness h(oneThread());
+    MicroOp op;
+    op.cls = OpClass::FpAlu;
+    FixedStream s(op);
+    h.core.bindStream(0, &s);
+    // 2 FPALUs bound independent FP throughput.
+    EXPECT_NEAR(h.steadyIpc(), 2.0, 0.1);
+}
+
+TEST(SmtCore, TwoThreadsShareTheMachine)
+{
+    CoreConfig config;
+    config.numThreads = 2;
+    CoreHarness h(config);
+    FixedStream s0(alu(0)), s1(alu(0));
+    h.core.bindStream(0, &s0);
+    h.core.bindStream(1, &s1);
+    h.run(60000);
+    const double ipc0 = h.core.perf(0).committedInsts / 60000.0;
+    const double ipc1 = h.core.perf(1).committedInsts / 60000.0;
+    // Together they still cannot beat the 6 ALUs; sharing is fair.
+    EXPECT_NEAR(ipc0 + ipc1, 6.0, 0.3);
+    EXPECT_NEAR(ipc0, ipc1, 0.5);
+}
+
+TEST(SmtCore, LoadsHitInL1AfterPrewarm)
+{
+    CoreHarness h(oneThread());
+    MicroOp op;
+    op.cls = OpClass::Load;
+    op.effAddr = 0x1000'0000;
+    FixedStream s(op);
+    h.hierarchy.prewarmLine(0, 0x1000'0000, true);
+    h.core.bindStream(0, &s);
+    // Load-only stream bound by the 2 cache ports.
+    EXPECT_NEAR(h.steadyIpc(10000, 10000), 2.0, 0.2);
+}
+
+TEST(SmtCore, SnapshotReflectsOccupancy)
+{
+    CoreHarness h(oneThread());
+    // A serial dependence chain piles instructions into the ROB/IQ.
+    FixedStream s(alu(1));
+    h.core.bindStream(0, &s);
+    h.run(20000);  // past the I-cache warm-up
+    const ThreadSnapshot snap = h.core.snapshot(0);
+    EXPECT_GT(snap.robOccupancy, 0u);
+    EXPECT_EQ(snap.robOccupancy, h.core.robOccupancy(0));
+    EXPECT_EQ(snap.iqOccupancy, h.core.intIqOccupancy(0));
+}
+
+TEST(SmtCore, MispredictsReduceThroughput)
+{
+    // Identical streams except for branch predictability.
+    auto run_with = [](bool predictable) {
+        class BranchStream : public InstStream
+        {
+          public:
+            explicit BranchStream(bool predictable)
+                : predictable_(predictable)
+            {
+            }
+
+            MicroOp
+            next() override
+            {
+                MicroOp op;
+                op.pc = pc_;
+                if (++count_ % 8 == 0) {
+                    op.cls = OpClass::Branch;
+                    // Predictable: always fall through.  Noisy:
+                    // genuinely random outcomes (unlearnable).
+                    const bool taken =
+                        !predictable_ && rng_.chance(0.5);
+                    op.taken = taken;
+                    op.nextPc = taken ? pc_ - 256 : pc_ + 4;
+                    pc_ = op.nextPc;
+                } else {
+                    op.cls = OpClass::IntAlu;
+                    pc_ += 4;
+                }
+                if (pc_ >= 0x40'0000 + 4096 || pc_ < 0x40'0000)
+                    pc_ = 0x40'0000;
+                return op;
+            }
+
+          private:
+            bool predictable_;
+            Rng rng_{99};
+            Addr pc_ = 0x40'0000;
+            std::uint64_t count_ = 0;
+        };
+
+        CoreConfig config;
+        config.numThreads = 1;
+        CoreHarness h(config);
+        BranchStream s(predictable);
+        h.core.bindStream(0, &s);
+        h.run(40000);
+        return static_cast<double>(h.core.perf(0).committedInsts);
+    };
+
+    const double predictable = run_with(true);
+    const double noisy = run_with(false);
+    EXPECT_GT(predictable, noisy * 1.3);
+}
+
+TEST(SmtCore, PerfCountsOpClasses)
+{
+    CoreHarness h(oneThread());
+    MicroOp op;
+    op.cls = OpClass::Load;
+    op.effAddr = 0x1000'0000;
+    FixedStream s(op);
+    h.hierarchy.prewarmLine(0, 0x1000'0000, true);
+    h.core.bindStream(0, &s);
+    h.run(5000);
+    EXPECT_GT(h.core.perf(0).loads, 0u);
+    EXPECT_EQ(h.core.perf(0).stores, 0u);
+    EXPECT_EQ(h.core.perf(0).branches, 0u);
+}
+
+TEST(SmtCore, StoresDrainThroughWriteBuffer)
+{
+    CoreHarness h(oneThread());
+    MicroOp op;
+    op.cls = OpClass::Store;
+    op.effAddr = 0x1000'0000;
+    FixedStream s(op);
+    h.hierarchy.prewarmLine(0, 0x1000'0000, true);
+    h.core.bindStream(0, &s);
+    h.run(20000);
+    // Stores commit; the write buffer (1 drain/cycle) is the bound.
+    EXPECT_GT(h.core.perf(0).committedInsts, 10000u);
+}
+
+TEST(SmtCore, IntIssueActiveCyclesTracked)
+{
+    CoreHarness h(oneThread());
+    FixedStream s(alu(0));
+    h.core.bindStream(0, &s);
+    h.run(10000);  // I-cache warm-up
+    const std::uint64_t base = h.core.intIssueActiveCycles();
+    h.run(10000);
+    EXPECT_GT(h.core.intIssueActiveCycles() - base, 9000u);
+    EXPECT_LE(h.core.intIssueActiveCycles(), h.core.cyclesRun());
+}
+
+TEST(SmtCore, UnboundThreadIsIdle)
+{
+    CoreConfig config;
+    config.numThreads = 2;
+    CoreHarness h(config);
+    FixedStream s(alu(0));
+    h.core.bindStream(0, &s);
+    // Thread 1 has no stream; it must stay silent and harmless.
+    h.run(5000);
+    EXPECT_GT(h.core.perf(0).committedInsts, 0u);
+    EXPECT_EQ(h.core.perf(1).committedInsts, 0u);
+}
+
+TEST(SmtCoreDeathTest, TooFewRegistersRejected)
+{
+    CoreConfig config;
+    config.numThreads = 8;
+    config.intRegs = 100;  // < 8 * 32 architectural
+    DramSystem dram(DramConfig::ddrSdram(2), SchedulerKind::HitFirst);
+    EventQueue events;
+    Hierarchy hier(HierarchyConfig{}, dram, events, 8);
+    EXPECT_EXIT(SmtCore(config, hier), testing::ExitedWithCode(1),
+                "registers");
+}
+
+} // namespace
+} // namespace smtdram

@@ -1,0 +1,170 @@
+/** @file Unit tests for the page and XOR DRAM address mappings. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "dram/address_mapping.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+DramConfig
+ddr(MappingScheme scheme, std::uint32_t channels = 2)
+{
+    DramConfig c = DramConfig::ddrSdram(channels);
+    c.mapping = scheme;
+    return c;
+}
+
+TEST(AddressMapping, CoordsWithinBounds)
+{
+    const DramConfig config = ddr(MappingScheme::PageInterleave);
+    AddressMapping m(config);
+    for (Addr a = 0; a < (1u << 22); a += 64) {
+        const DramCoord c = m.map(a);
+        EXPECT_LT(c.channel, config.logicalChannels());
+        EXPECT_LT(c.bank, config.banksPerChannel());
+        EXPECT_LT(c.column, m.linesPerRow());
+    }
+}
+
+TEST(AddressMapping, LinesInterleaveAcrossChannels)
+{
+    AddressMapping m(ddr(MappingScheme::PageInterleave));
+    EXPECT_EQ(m.map(0).channel, 0u);
+    EXPECT_EQ(m.map(64).channel, 1u);
+    EXPECT_EQ(m.map(128).channel, 0u);
+}
+
+TEST(AddressMapping, SameLineSameCoord)
+{
+    AddressMapping m(ddr(MappingScheme::XorPermute));
+    const DramCoord a = m.map(0x12340);
+    const DramCoord b = m.map(0x12370);  // same 64B line
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.column, b.column);
+}
+
+TEST(AddressMapping, InjectiveOverLines)
+{
+    // Distinct lines must map to distinct (channel,bank,row,column).
+    AddressMapping m(ddr(MappingScheme::XorPermute));
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                        std::uint32_t>>
+        seen;
+    const int lines = 1 << 14;
+    for (int i = 0; i < lines; ++i) {
+        const DramCoord c = m.map(static_cast<Addr>(i) * 64);
+        EXPECT_TRUE(
+            seen.emplace(c.channel, c.bank, c.row, c.column).second)
+            << "line " << i << " collided";
+    }
+}
+
+TEST(AddressMapping, PageSchemeRoundRobinsBanks)
+{
+    const DramConfig config = ddr(MappingScheme::PageInterleave, 1);
+    AddressMapping m(config);
+    const std::uint64_t row_bytes = config.effectiveRowBytes();
+    // Consecutive pages within one channel hit consecutive banks.
+    for (std::uint32_t p = 0; p < 16; ++p) {
+        const DramCoord c = m.map(p * row_bytes);
+        EXPECT_EQ(c.bank, p % config.banksPerChannel());
+    }
+}
+
+TEST(AddressMapping, XorSpreadsBankConflicts)
+{
+    // Addresses that collide on a bank under the page scheme (same
+    // bank, different rows) spread over banks under XOR [33].
+    const DramConfig page_cfg = ddr(MappingScheme::PageInterleave, 1);
+    const DramConfig xor_cfg = ddr(MappingScheme::XorPermute, 1);
+    AddressMapping page(page_cfg);
+    AddressMapping xored(xor_cfg);
+
+    const std::uint64_t bank_stride =
+        static_cast<std::uint64_t>(page_cfg.effectiveRowBytes()) *
+        page_cfg.banksPerChannel();
+
+    std::set<std::uint32_t> page_banks, xor_banks;
+    for (std::uint32_t i = 0; i < page_cfg.banksPerChannel(); ++i) {
+        page_banks.insert(page.map(i * bank_stride).bank);
+        xor_banks.insert(xored.map(i * bank_stride).bank);
+    }
+    EXPECT_EQ(page_banks.size(), 1u);  // all conflict on one bank
+    EXPECT_EQ(xor_banks.size(), page_cfg.banksPerChannel());
+}
+
+TEST(AddressMapping, XorPreservesChannelAndColumn)
+{
+    AddressMapping page(ddr(MappingScheme::PageInterleave));
+    AddressMapping xored(ddr(MappingScheme::XorPermute));
+    for (Addr a = 0; a < (1u << 20); a += 4096) {
+        const DramCoord p = page.map(a);
+        const DramCoord x = xored.map(a);
+        EXPECT_EQ(p.channel, x.channel);
+        EXPECT_EQ(p.column, x.column);
+        EXPECT_EQ(p.row, x.row);
+    }
+}
+
+TEST(AddressMapping, ManyBanksStillInjective)
+{
+    DramConfig config = DramConfig::directRambus(2);
+    config.mapping = MappingScheme::XorPermute;
+    AddressMapping m(config);
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                        std::uint32_t>>
+        seen;
+    for (int i = 0; i < (1 << 14); ++i) {
+        const DramCoord c = m.map(static_cast<Addr>(i) * 64);
+        EXPECT_TRUE(
+            seen.emplace(c.channel, c.bank, c.row, c.column).second);
+    }
+}
+
+TEST(AddressMapping, PageGranularChannelInterleave)
+{
+    DramConfig config = DramConfig::ddrSdram(2);
+    config.channelInterleave = ChannelInterleave::Page;
+    AddressMapping m(config);
+    const std::uint32_t lines_per_row = m.linesPerRow();
+    // All lines of one DRAM page share a channel...
+    const DramCoord first = m.map(0);
+    for (std::uint32_t l = 1; l < lines_per_row; ++l) {
+        const DramCoord c = m.map(static_cast<Addr>(l) * 64);
+        EXPECT_EQ(c.channel, first.channel);
+        EXPECT_EQ(c.row, first.row);
+        EXPECT_EQ(c.bank, first.bank);
+        EXPECT_EQ(c.column, l);
+    }
+    // ...and the next page lands on the other channel.
+    const DramCoord next =
+        m.map(static_cast<Addr>(lines_per_row) * 64);
+    EXPECT_NE(next.channel, first.channel);
+}
+
+TEST(AddressMapping, PageInterleaveStillInjective)
+{
+    DramConfig config = DramConfig::ddrSdram(2);
+    config.channelInterleave = ChannelInterleave::Page;
+    config.mapping = MappingScheme::XorPermute;
+    AddressMapping m(config);
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                        std::uint32_t>>
+        seen;
+    for (int i = 0; i < (1 << 14); ++i) {
+        const DramCoord c = m.map(static_cast<Addr>(i) * 64);
+        EXPECT_TRUE(
+            seen.emplace(c.channel, c.bank, c.row, c.column).second);
+    }
+}
+
+} // namespace
+} // namespace smtdram

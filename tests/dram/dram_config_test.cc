@@ -1,0 +1,106 @@
+/** @file Unit tests for DRAM configuration presets and validation. */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_config.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+TEST(DramTiming, Table1LatenciesInCycles)
+{
+    // 15 ns at 3 GHz = 45 cycles for row, column, and precharge.
+    DramTiming t;
+    EXPECT_EQ(t.rowAccess, 45u);
+    EXPECT_EQ(t.columnAccess, 45u);
+    EXPECT_EQ(t.precharge, 45u);
+}
+
+TEST(DramTiming, DdrLineTransfer)
+{
+    // 200 MHz DDR x 16 B = 400 MT/s; a 64 B line is 4 transfers at
+    // 7.5 CPU cycles each = 30 cycles.
+    DramTiming t;
+    EXPECT_EQ(t.transferCycles(64, 1), 30u);
+    // Ganged x2: 32 B per transfer -> 2 transfers -> 15 cycles.
+    EXPECT_EQ(t.transferCycles(64, 2), 15u);
+    // Ganged x4: 1 transfer -> 7.5 -> rounded up to 8.
+    EXPECT_EQ(t.transferCycles(64, 4), 8u);
+}
+
+TEST(DramTiming, RdramLineTransfer)
+{
+    // 800 MT/s x 2 B: 32 transfers x 3.75 cycles = 120 cycles.
+    DramTiming t;
+    t.megaTransfersPerSec = 800.0;
+    t.transferBytes = 2;
+    EXPECT_EQ(t.transferCycles(64, 1), 120u);
+}
+
+TEST(DramConfig, DdrPresetMatchesTable1)
+{
+    const DramConfig c = DramConfig::ddrSdram(2);
+    EXPECT_EQ(c.physicalChannels, 2u);
+    EXPECT_EQ(c.logicalChannels(), 2u);
+    EXPECT_EQ(c.banksPerChip, 4u);
+    // Paper: the 2-channel DDR system has 8 independent banks.
+    EXPECT_EQ(c.banksPerChannel() * c.logicalChannels(), 8u);
+    EXPECT_EQ(c.lineTransferCycles(), 30u);
+    EXPECT_EQ(c.label(), "2C-1G");
+}
+
+TEST(DramConfig, RambusPresetHasManyBanks)
+{
+    const DramConfig c = DramConfig::directRambus(2);
+    EXPECT_EQ(c.banksPerChip, 32u);
+    EXPECT_GT(c.banksPerChannel(), 32u);
+    EXPECT_EQ(c.lineTransferCycles(), 120u);
+}
+
+TEST(DramConfig, GangingHalvesLogicalChannels)
+{
+    const DramConfig c = DramConfig::ddrSdram(8, 2);
+    EXPECT_EQ(c.logicalChannels(), 4u);
+    EXPECT_EQ(c.effectiveRowBytes(), 2u * 4096u);
+    EXPECT_EQ(c.lineTransferCycles(), 15u);
+    EXPECT_EQ(c.label(), "8C-2G");
+}
+
+TEST(DramConfigDeathTest, GangMustDivideChannels)
+{
+    DramConfig c = DramConfig::ddrSdram(4);
+    c.gangDegree = 3;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "does not divide");
+}
+
+TEST(DramConfigDeathTest, ZeroChannelsRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.physicalChannels = 0;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "at least one");
+}
+
+TEST(DramConfigDeathTest, OverwideGangRejected)
+{
+    // Ganging beyond one line per transfer makes no sense (the paper
+    // stops at 4 x 16 B for a 64 B line).
+    DramConfig c = DramConfig::ddrSdram(8, 4);
+    c.gangDegree = 8;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "more than one line");
+}
+
+TEST(DramConfigDeathTest, NonPowerOfTwoBanksRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.chipsPerChannel = 3;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "power of 2");
+}
+
+} // namespace
+} // namespace smtdram

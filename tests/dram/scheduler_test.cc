@@ -1,0 +1,255 @@
+/** @file Unit tests for the memory access scheduling policies. */
+
+#include <gtest/gtest.h>
+
+#include "dram/scheduler.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+/** Candidate factory with sensible defaults. */
+struct Cand {
+    DramRequest req;
+
+    Cand(std::uint64_t id, Cycle arrival, MemOp op = MemOp::Read)
+    {
+        req.id = id;
+        req.arrival = arrival;
+        req.op = op;
+        req.thread = 0;
+    }
+};
+
+SchedCandidate
+view(const Cand &c, bool hit = false, bool idle = false)
+{
+    SchedCandidate v;
+    v.req = &c.req;
+    v.rowHit = hit;
+    v.bankIdle = idle;
+    return v;
+}
+
+TEST(SchedulerNames, RoundTrip)
+{
+    for (SchedulerKind kind : allSchedulerKinds())
+        EXPECT_EQ(schedulerFromName(schedulerName(kind)), kind);
+    EXPECT_EQ(schedulerFromName("hit-first"), SchedulerKind::HitFirst);
+    EXPECT_EQ(schedulerFromName("IQ"), SchedulerKind::IqBased);
+    EXPECT_EQ(schedulerFromName("rob_based"), SchedulerKind::RobBased);
+}
+
+TEST(SchedulerNamesDeathTest, UnknownNameFatal)
+{
+    EXPECT_EXIT((void)schedulerFromName("bogus"),
+                testing::ExitedWithCode(1), "unknown scheduler");
+}
+
+TEST(Fcfs, PicksOldestRead)
+{
+    auto s = makeScheduler(SchedulerKind::Fcfs);
+    Cand a(1, 100), b(2, 50), c(3, 75);
+    std::vector<SchedCandidate> cands = {view(a), view(b), view(c)};
+    EXPECT_EQ(s->pick(cands, 3), 1u);
+}
+
+TEST(Fcfs, ReadsBypassOlderWrites)
+{
+    auto s = makeScheduler(SchedulerKind::Fcfs);
+    Cand w(1, 10, MemOp::Write), r(2, 99, MemOp::Read);
+    std::vector<SchedCandidate> cands = {view(w), view(r)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(Fcfs, IgnoresRowHits)
+{
+    auto s = makeScheduler(SchedulerKind::Fcfs);
+    Cand old_miss(1, 10), young_hit(2, 20);
+    std::vector<SchedCandidate> cands = {view(old_miss, false),
+                                         view(young_hit, true)};
+    EXPECT_EQ(s->pick(cands, 2), 0u);
+}
+
+TEST(HitFirst, HitBeatsOlderMiss)
+{
+    auto s = makeScheduler(SchedulerKind::HitFirst);
+    Cand old_miss(1, 10), young_hit(2, 500);
+    std::vector<SchedCandidate> cands = {view(old_miss, false),
+                                         view(young_hit, true)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(HitFirst, IdleBankBeatsConflict)
+{
+    auto s = makeScheduler(SchedulerKind::HitFirst);
+    Cand conflict(1, 10), idle(2, 20);
+    std::vector<SchedCandidate> cands = {view(conflict, false, false),
+                                         view(idle, false, true)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(HitFirst, ReadFirstWithinHitClass)
+{
+    auto s = makeScheduler(SchedulerKind::HitFirst);
+    Cand w(1, 10, MemOp::Write), r(2, 20, MemOp::Read);
+    std::vector<SchedCandidate> cands = {view(w, true), view(r, true)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(HitFirst, ArrivalBreaksTies)
+{
+    auto s = makeScheduler(SchedulerKind::HitFirst);
+    Cand a(1, 30), b(2, 20);
+    std::vector<SchedCandidate> cands = {view(a, true), view(b, true)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(AgeBased, HitFirstUnderLightLoad)
+{
+    auto s = makeScheduler(SchedulerKind::AgeBased);
+    Cand old_miss(1, 10), young_hit(2, 500);
+    std::vector<SchedCandidate> cands = {view(old_miss, false),
+                                         view(young_hit, true)};
+    EXPECT_EQ(s->pick(cands, 8), 1u);  // at the threshold, not above
+}
+
+TEST(AgeBased, OldestFirstUnderPressure)
+{
+    // Paper: the oldest request is promoted when more than eight
+    // requests are outstanding at the controller.
+    auto s = makeScheduler(SchedulerKind::AgeBased);
+    Cand old_miss(1, 10), young_hit(2, 500);
+    std::vector<SchedCandidate> cands = {view(old_miss, false),
+                                         view(young_hit, true)};
+    EXPECT_EQ(s->pick(cands, 9), 0u);
+}
+
+Cand
+withSnap(std::uint64_t id, Cycle arrival, std::uint32_t outstanding,
+         std::uint32_t rob, std::uint32_t iq, ThreadId tid)
+{
+    Cand c(id, arrival);
+    c.req.thread = tid;
+    c.req.snap.outstandingRequests = outstanding;
+    c.req.snap.robOccupancy = rob;
+    c.req.snap.iqOccupancy = iq;
+    return c;
+}
+
+TEST(RequestBased, FewestOutstandingWins)
+{
+    auto s = makeScheduler(SchedulerKind::RequestBased);
+    Cand heavy = withSnap(1, 10, 12, 0, 0, 0);
+    Cand light = withSnap(2, 90, 2, 0, 0, 1);
+    std::vector<SchedCandidate> cands = {view(heavy), view(light)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(RequestBased, HitFirstLeadsThreadKey)
+{
+    // Section 3.2: a read hit beats a read miss even when the miss
+    // comes from the thread with fewer pending requests.
+    auto s = makeScheduler(SchedulerKind::RequestBased);
+    Cand heavy_hit = withSnap(1, 10, 12, 0, 0, 0);
+    Cand light_miss = withSnap(2, 5, 1, 0, 0, 1);
+    std::vector<SchedCandidate> cands = {view(heavy_hit, true),
+                                         view(light_miss, false)};
+    EXPECT_EQ(s->pick(cands, 2), 0u);
+}
+
+TEST(RobBased, MostRobOccupancyWins)
+{
+    auto s = makeScheduler(SchedulerKind::RobBased);
+    Cand small = withSnap(1, 10, 0, 30, 0, 0);
+    Cand big = withSnap(2, 90, 0, 200, 0, 1);
+    std::vector<SchedCandidate> cands = {view(small), view(big)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(IqBased, MostIqOccupancyWins)
+{
+    auto s = makeScheduler(SchedulerKind::IqBased);
+    Cand small = withSnap(1, 10, 0, 0, 3, 0);
+    Cand big = withSnap(2, 90, 0, 0, 40, 1);
+    std::vector<SchedCandidate> cands = {view(small), view(big)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(ThreadAware, WritebacksRankAfterThreadRequests)
+{
+    // A writeback carries no thread; within the same hit/read class
+    // it must not outrank thread-owned requests.
+    for (SchedulerKind kind :
+         {SchedulerKind::RequestBased, SchedulerKind::RobBased,
+          SchedulerKind::IqBased}) {
+        auto s = makeScheduler(kind);
+        Cand wb(1, 5, MemOp::Read);  // same class, no thread
+        wb.req.thread = kThreadNone;
+        Cand owned = withSnap(2, 50, 15, 1, 1, 3);
+        std::vector<SchedCandidate> cands = {view(wb), view(owned)};
+        EXPECT_EQ(s->pick(cands, 2), 1u) << schedulerName(kind);
+    }
+}
+
+TEST(AllSchedulers, DeterministicOnIdenticalKeys)
+{
+    // Fully tied candidates resolve by id, so repeated calls agree.
+    for (SchedulerKind kind : allSchedulerKinds()) {
+        auto s = makeScheduler(kind);
+        Cand a(7, 10), b(9, 10);
+        std::vector<SchedCandidate> cands = {view(a), view(b)};
+        const size_t first = s->pick(cands, 2);
+        for (int i = 0; i < 5; ++i)
+            EXPECT_EQ(s->pick(cands, 2), first);
+        EXPECT_EQ(first, 0u);  // lower id wins ties
+    }
+}
+
+TEST(AllSchedulers, SingleCandidateAlwaysPicked)
+{
+    for (SchedulerKind kind : allSchedulerKinds()) {
+        auto s = makeScheduler(kind);
+        Cand only(1, 10);
+        std::vector<SchedCandidate> cands = {view(only)};
+        EXPECT_EQ(s->pick(cands, 20), 0u);
+    }
+}
+
+TEST(CriticalityBased, CriticalReadLeadsWithinClass)
+{
+    auto s = makeScheduler(SchedulerKind::CriticalityBased);
+    Cand store_fill(1, 10);
+    store_fill.req.critical = false;
+    Cand demand_load(2, 50);
+    demand_load.req.critical = true;
+    std::vector<SchedCandidate> cands = {view(store_fill),
+                                         view(demand_load)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(CriticalityBased, HitFirstStillLeads)
+{
+    auto s = makeScheduler(SchedulerKind::CriticalityBased);
+    Cand critical_miss(1, 10);
+    critical_miss.req.critical = true;
+    Cand noncritical_hit(2, 50);
+    noncritical_hit.req.critical = false;
+    std::vector<SchedCandidate> cands = {
+        view(critical_miss, false), view(noncritical_hit, true)};
+    EXPECT_EQ(s->pick(cands, 2), 1u);
+}
+
+TEST(SchedulerNames, ExtendedListIncludesCriticality)
+{
+    const auto &extended = allSchedulerKindsExtended();
+    EXPECT_EQ(extended.size(), allSchedulerKinds().size() + 1);
+    EXPECT_EQ(schedulerFromName("criticality"),
+              SchedulerKind::CriticalityBased);
+    EXPECT_EQ(schedulerName(SchedulerKind::CriticalityBased),
+              "Criticality");
+}
+
+} // namespace
+} // namespace smtdram

@@ -1,0 +1,134 @@
+/** @file Unit tests for the experiment helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+TEST(ExperimentContext, AloneIpcIsCachedAndStable)
+{
+    ExperimentContext ctx(5000, 2000, 42);
+    const double first = ctx.aloneIpc("gzip");
+    const double second = ctx.aloneIpc("gzip");
+    EXPECT_DOUBLE_EQ(first, second);
+    EXPECT_GT(first, 0.5);
+}
+
+TEST(ExperimentContext, WeightedSpeedupDefinition)
+{
+    // With N copies of similar load, weighted speedup is bounded by
+    // N and positive.
+    ExperimentContext ctx(4000, 2000, 42);
+    const MixRun r = ctx.runMix("2-ILP");
+    EXPECT_GT(r.weightedSpeedup, 0.5);
+    EXPECT_LE(r.weightedSpeedup, 2.1);
+}
+
+TEST(ExperimentContext, MixRunMatchesManualComputation)
+{
+    ExperimentContext ctx(4000, 2000, 42);
+    const WorkloadMix &mix = mixByName("2-MIX");
+    const SystemConfig config = SystemConfig::paperDefault(2);
+    const MixRun r = ctx.runMix(config, mix);
+    const double manual = r.run.ipc[0] / ctx.aloneIpc("gzip") +
+                          r.run.ipc[1] / ctx.aloneIpc("mcf");
+    EXPECT_NEAR(r.weightedSpeedup, manual, 1e-9);
+}
+
+TEST(ExperimentContextDeathTest, ThreadMismatchFatal)
+{
+    ExperimentContext ctx(1000, 500, 42);
+    const SystemConfig config = SystemConfig::paperDefault(4);
+    EXPECT_EXIT((void)ctx.runMix(config, mixByName("2-MEM")),
+                testing::ExitedWithCode(1), "threads");
+}
+
+TEST(CpiBreakdown, ComponentsAreNonNegativeAndSum)
+{
+    const CpiBreakdown b = measureCpiBreakdown("gzip", 4000, 2000, 42);
+    EXPECT_GT(b.proc, 0.0);
+    EXPECT_GE(b.l2, 0.0);
+    EXPECT_GE(b.l3, 0.0);
+    EXPECT_GE(b.mem, 0.0);
+    // The methodology decomposes overall into the four parts.
+    EXPECT_NEAR(b.proc + b.l2 + b.l3 + b.mem, b.overall,
+                0.25 * b.overall + 0.05);
+}
+
+TEST(CpiBreakdown, McfIsMemoryBoundGzipIsNot)
+{
+    const CpiBreakdown mcf =
+        measureCpiBreakdown("mcf", 12000, 8000, 42);
+    const CpiBreakdown gzip =
+        measureCpiBreakdown("gzip", 12000, 8000, 42);
+    EXPECT_GT(mcf.mem, 1.0);
+    EXPECT_GT(mcf.mem, 5.0 * gzip.mem);
+    EXPECT_LT(gzip.mem, 0.5);
+}
+
+TEST(ProfilesForMix, ResolvesAllApps)
+{
+    const auto apps = profilesForMix(mixByName("4-MEM"));
+    ASSERT_EQ(apps.size(), 4u);
+    EXPECT_EQ(apps[0].name, "mcf");
+    EXPECT_EQ(apps[3].name, "lucas");
+}
+
+TEST(ConfigSignature, DistinguishesMemoryConfigurations)
+{
+    const SystemConfig base = SystemConfig::paperDefault(2);
+
+    SystemConfig channels = base;
+    channels.dram = DramConfig::ddrSdram(8);
+    SystemConfig ganged = base;
+    ganged.dram = DramConfig::ddrSdram(2, 2);
+    SystemConfig mapping = base;
+    mapping.dram.mapping = MappingScheme::PageInterleave;
+    SystemConfig mode = base;
+    mode.dram.pageMode = PageMode::Close;
+    SystemConfig sched = base;
+    sched.scheduler = SchedulerKind::RequestBased;
+    SystemConfig inf = base.withInfiniteL3();
+    SystemConfig pf = base;
+    pf.hierarchy.prefetchNextLine = true;
+
+    const std::string sig = configSignature(base);
+    for (const SystemConfig &other :
+         {channels, ganged, mapping, mode, sched, inf, pf}) {
+        EXPECT_NE(configSignature(other), sig);
+    }
+    // Thread count is not part of the memory-system signature.
+    SystemConfig threads = SystemConfig::paperDefault(4);
+    EXPECT_EQ(configSignature(threads), sig);
+}
+
+TEST(ExperimentContext, PerConfigBaselinesDiffer)
+{
+    ExperimentContext ctx(4000, 2000, 42);
+    SystemConfig inf = SystemConfig::paperDefault(1).withInfiniteL3();
+    const double real_ipc = ctx.aloneIpc("mcf");
+    const double inf_ipc = ctx.aloneIpcOn("mcf", inf);
+    // mcf is memory-bound: an infinite L3 transforms it.
+    EXPECT_GT(inf_ipc, 2.0 * real_ipc);
+    // Cached: repeated queries are stable.
+    EXPECT_DOUBLE_EQ(ctx.aloneIpcOn("mcf", inf), inf_ipc);
+}
+
+TEST(ExperimentContext, PerConfigWeightedSpeedupUsesOwnBaselines)
+{
+    ExperimentContext ctx(4000, 2000, 42);
+    const WorkloadMix &mix = mixByName("2-MEM");
+    SystemConfig inf = SystemConfig::paperDefault(2).withInfiniteL3();
+    const MixRun fixed = ctx.runMix(inf, mix, false);
+    const MixRun per_config = ctx.runMix(inf, mix, true);
+    // Fixed baselines (real machine) inflate the infinite-L3 WS.
+    EXPECT_GT(fixed.weightedSpeedup,
+              1.5 * per_config.weightedSpeedup);
+}
+
+} // namespace
+} // namespace smtdram

@@ -1,0 +1,153 @@
+/** @file Unit tests for the SPEC2000 profile table and Table 2. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec2000.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+TEST(Spec2000, Has26Applications)
+{
+    EXPECT_EQ(spec2000Profiles().size(), 26u);
+}
+
+TEST(Spec2000, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const AppProfile &p : spec2000Profiles())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(Spec2000, LookupByName)
+{
+    EXPECT_EQ(specProfile("mcf").name, "mcf");
+    EXPECT_EQ(specProfile("swim").category, AppCategory::Mem);
+    EXPECT_EQ(specProfile("gzip").category, AppCategory::Ilp);
+}
+
+TEST(Spec2000DeathTest, UnknownAppFatal)
+{
+    EXPECT_EXIT((void)specProfile("doom3"), testing::ExitedWithCode(1),
+                "unknown SPEC2000");
+}
+
+TEST(Spec2000, MixFractionsAreValid)
+{
+    for (const AppProfile &p : spec2000Profiles()) {
+        EXPECT_GT(p.loadFrac, 0.0) << p.name;
+        EXPECT_GT(p.storeFrac, 0.0) << p.name;
+        EXPECT_GT(p.branchFrac, 0.0) << p.name;
+        EXPECT_LT(p.loadFrac + p.storeFrac + p.branchFrac, 1.0)
+            << p.name;
+    }
+}
+
+TEST(Spec2000, MemAppsHaveBigWorkingSets)
+{
+    // Everything the paper treats as memory-bound must exceed the
+    // 4MB L3 so its cold set cannot become cache-resident.
+    for (const AppProfile &p : spec2000Profiles()) {
+        if (p.category == AppCategory::Mem) {
+            EXPECT_GT(p.coldBytes, 4u * 1024 * 1024) << p.name;
+        }
+    }
+}
+
+TEST(Spec2000, IlpAppsHaveCacheableWorkingSets)
+{
+    for (const AppProfile &p : spec2000Profiles()) {
+        if (p.category == AppCategory::Ilp) {
+            EXPECT_LE(p.coldBytes, 4u * 1024 * 1024) << p.name;
+        }
+    }
+}
+
+TEST(Spec2000, McfIsTheWorstPointerChaser)
+{
+    const AppProfile &mcf = specProfile("mcf");
+    EXPECT_EQ(mcf.coldPattern, AccessPattern::PointerChase);
+    for (const AppProfile &p : spec2000Profiles()) {
+        if (p.name != "mcf") {
+            EXPECT_LE(p.coldBytes, mcf.coldBytes) << p.name;
+        }
+    }
+}
+
+TEST(Spec2000, FpFlagsMatchSuites)
+{
+    // Spot-check suite membership.
+    EXPECT_FALSE(specProfile("gzip").fpProgram);
+    EXPECT_FALSE(specProfile("mcf").fpProgram);
+    EXPECT_TRUE(specProfile("swim").fpProgram);
+    EXPECT_TRUE(specProfile("ammp").fpProgram);
+    int fp = 0;
+    for (const AppProfile &p : spec2000Profiles())
+        fp += p.fpProgram ? 1 : 0;
+    EXPECT_EQ(fp, 14);  // SPEC CFP2000 has 14 programs
+}
+
+TEST(Table2, HasAllNineMixes)
+{
+    const auto &mixes = table2Mixes();
+    ASSERT_EQ(mixes.size(), 9u);
+    for (const char *name :
+         {"2-ILP", "2-MIX", "2-MEM", "4-ILP", "4-MIX", "4-MEM",
+          "8-ILP", "8-MIX", "8-MEM"}) {
+        EXPECT_NO_FATAL_FAILURE((void)mixByName(name));
+    }
+}
+
+TEST(Table2, ThreadCountsMatchNames)
+{
+    for (const WorkloadMix &m : table2Mixes()) {
+        const size_t threads = m.name[0] - '0';
+        EXPECT_EQ(m.apps.size(), threads) << m.name;
+    }
+}
+
+TEST(Table2, ExactPaperComposition)
+{
+    EXPECT_EQ(mixByName("2-MEM").apps,
+              (std::vector<std::string>{"mcf", "ammp"}));
+    EXPECT_EQ(mixByName("2-MIX").apps,
+              (std::vector<std::string>{"gzip", "mcf"}));
+    EXPECT_EQ(mixByName("4-MEM").apps,
+              (std::vector<std::string>{"mcf", "ammp", "swim",
+                                        "lucas"}));
+    EXPECT_EQ(mixByName("8-MEM").apps,
+              (std::vector<std::string>{"mcf", "ammp", "swim", "lucas",
+                                        "equake", "applu", "vpr",
+                                        "facerec"}));
+}
+
+TEST(Table2, EveryMixMemberHasAProfile)
+{
+    for (const WorkloadMix &m : table2Mixes()) {
+        for (const std::string &app : m.apps)
+            EXPECT_NO_FATAL_FAILURE((void)specProfile(app)) << app;
+    }
+}
+
+TEST(Table2, IlpMixesContainOnlyIlpApps)
+{
+    for (const char *name : {"2-ILP", "4-ILP", "8-ILP"}) {
+        for (const std::string &app : mixByName(name).apps) {
+            EXPECT_EQ(specProfile(app).category, AppCategory::Ilp)
+                << name << "/" << app;
+        }
+    }
+}
+
+TEST(Table2DeathTest, UnknownMixFatal)
+{
+    EXPECT_EXIT((void)mixByName("16-MEM"), testing::ExitedWithCode(1),
+                "unknown workload mix");
+}
+
+} // namespace
+} // namespace smtdram

@@ -1,0 +1,160 @@
+/** @file Unit tests for instruction-trace capture and replay. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workload/spec2000.hh"
+#include "workload/synthetic_stream.hh"
+#include "workload/trace.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+/** Temp file that cleans up after itself. */
+class TempTrace
+{
+  public:
+    TempTrace()
+    {
+        char buf[] = "/tmp/smtdram_trace_XXXXXX";
+        const int fd = mkstemp(buf);
+        EXPECT_GE(fd, 0);
+        if (fd >= 0)
+            ::close(fd);
+        path_ = buf;
+    }
+
+    ~TempTrace() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+bool
+sameOp(const MicroOp &a, const MicroOp &b)
+{
+    return a.cls == b.cls && a.pc == b.pc && a.effAddr == b.effAddr &&
+           a.taken == b.taken && a.nextPc == b.nextPc &&
+           a.isCall == b.isCall && a.isReturn == b.isReturn &&
+           a.dep1 == b.dep1 && a.dep2 == b.dep2;
+}
+
+TEST(Trace, RoundTripsEveryField)
+{
+    TempTrace tmp;
+    SyntheticStream source(specProfile("mcf"), 42);
+    std::vector<MicroOp> original;
+    {
+        TraceWriter writer(tmp.path());
+        for (int i = 0; i < 5000; ++i) {
+            const MicroOp op = source.next();
+            original.push_back(op);
+            writer.write(op);
+        }
+        EXPECT_EQ(writer.written(), 5000u);
+    }
+
+    TraceReader reader(tmp.path());
+    EXPECT_EQ(reader.instructionsInTrace(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp op = reader.next();
+        ASSERT_TRUE(sameOp(op, original[i])) << "instruction " << i;
+    }
+    EXPECT_EQ(reader.laps(), 0u);
+}
+
+TEST(Trace, WrapsAroundAtEnd)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        SyntheticStream source(specProfile("gzip"), 7);
+        for (int i = 0; i < 100; ++i)
+            writer.write(source.next());
+    }
+    TraceReader reader(tmp.path());
+    const MicroOp first = reader.next();
+    for (int i = 1; i < 100; ++i)
+        (void)reader.next();
+    const MicroOp wrapped = reader.next();
+    EXPECT_EQ(reader.laps(), 1u);
+    EXPECT_TRUE(sameOp(first, wrapped));
+}
+
+TEST(Trace, RecordingStreamIsTransparent)
+{
+    TempTrace tmp;
+    SyntheticStream a(specProfile("swim"), 11);
+    SyntheticStream b(specProfile("swim"), 11);
+    {
+        TraceWriter writer(tmp.path());
+        RecordingStream recorded(a, writer);
+        // The wrapper must not change what the consumer sees.
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_TRUE(sameOp(recorded.next(), b.next()));
+    }
+    // And the side effect is a complete trace.
+    TraceReader reader(tmp.path());
+    EXPECT_EQ(reader.instructionsInTrace(), 2000u);
+}
+
+TEST(Trace, ReplayMatchesGeneratorAsInstStream)
+{
+    // A TraceReader is a drop-in InstStream: feed it back to back
+    // with the generator and compare through the base interface.
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        SyntheticStream source(specProfile("ammp"), 3);
+        for (int i = 0; i < 1000; ++i)
+            writer.write(source.next());
+    }
+    SyntheticStream source(specProfile("ammp"), 3);
+    TraceReader reader(tmp.path());
+    InstStream &generated = source;
+    InstStream &replayed = reader;
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_TRUE(sameOp(generated.next(), replayed.next()));
+}
+
+TEST(TraceDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader("/nonexistent/trace.bin"),
+                testing::ExitedWithCode(1), "cannot open trace");
+}
+
+TEST(TraceDeathTest, GarbageHeaderIsFatal)
+{
+    TempTrace tmp;
+    {
+        std::FILE *f = std::fopen(tmp.path().c_str(), "wb");
+        std::fputs("this is not a trace", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceReader(tmp.path()), testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceDeathTest, EmptyTraceIsFatal)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        // Header only, no instructions.
+    }
+    EXPECT_EXIT(TraceReader(tmp.path()), testing::ExitedWithCode(1),
+                "no instructions");
+}
+
+} // namespace
+} // namespace smtdram
