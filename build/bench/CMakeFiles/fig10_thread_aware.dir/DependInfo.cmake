@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_thread_aware.cpp" "bench/CMakeFiles/fig10_thread_aware.dir/fig10_thread_aware.cpp.o" "gcc" "bench/CMakeFiles/fig10_thread_aware.dir/fig10_thread_aware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smtdram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smtdram_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/smtdram_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/smtdram_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/smtdram_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smtdram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_thread_aware.dir/fig10_thread_aware.cpp.o"
+  "CMakeFiles/fig10_thread_aware.dir/fig10_thread_aware.cpp.o.d"
+  "fig10_thread_aware"
+  "fig10_thread_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_thread_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

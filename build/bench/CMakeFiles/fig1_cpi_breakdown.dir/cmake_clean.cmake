@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cpi_breakdown.dir/fig1_cpi_breakdown.cpp.o"
+  "CMakeFiles/fig1_cpi_breakdown.dir/fig1_cpi_breakdown.cpp.o.d"
+  "fig1_cpi_breakdown"
+  "fig1_cpi_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cpi_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

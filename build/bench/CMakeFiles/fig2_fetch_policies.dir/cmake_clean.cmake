@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fetch_policies.dir/fig2_fetch_policies.cpp.o"
+  "CMakeFiles/fig2_fetch_policies.dir/fig2_fetch_policies.cpp.o.d"
+  "fig2_fetch_policies"
+  "fig2_fetch_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fetch_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

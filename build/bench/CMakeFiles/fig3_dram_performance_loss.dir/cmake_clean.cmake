@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dram_performance_loss.dir/fig3_dram_performance_loss.cpp.o"
+  "CMakeFiles/fig3_dram_performance_loss.dir/fig3_dram_performance_loss.cpp.o.d"
+  "fig3_dram_performance_loss"
+  "fig3_dram_performance_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dram_performance_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_dram_performance_loss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_concurrency.dir/fig4_concurrency.cpp.o"
+  "CMakeFiles/fig4_concurrency.dir/fig4_concurrency.cpp.o.d"
+  "fig4_concurrency"
+  "fig4_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

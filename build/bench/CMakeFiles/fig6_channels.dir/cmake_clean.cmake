@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_channels.dir/fig6_channels.cpp.o"
+  "CMakeFiles/fig6_channels.dir/fig6_channels.cpp.o.d"
+  "fig6_channels"
+  "fig6_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

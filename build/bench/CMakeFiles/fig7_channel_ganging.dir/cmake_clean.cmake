@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_channel_ganging.dir/fig7_channel_ganging.cpp.o"
+  "CMakeFiles/fig7_channel_ganging.dir/fig7_channel_ganging.cpp.o.d"
+  "fig7_channel_ganging"
+  "fig7_channel_ganging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_channel_ganging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

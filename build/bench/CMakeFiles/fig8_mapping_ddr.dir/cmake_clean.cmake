@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mapping_ddr.dir/fig8_mapping_ddr.cpp.o"
+  "CMakeFiles/fig8_mapping_ddr.dir/fig8_mapping_ddr.cpp.o.d"
+  "fig8_mapping_ddr"
+  "fig8_mapping_ddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mapping_ddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

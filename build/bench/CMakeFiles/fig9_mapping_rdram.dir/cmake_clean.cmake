@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mapping_rdram.dir/fig9_mapping_rdram.cpp.o"
+  "CMakeFiles/fig9_mapping_rdram.dir/fig9_mapping_rdram.cpp.o.d"
+  "fig9_mapping_rdram"
+  "fig9_mapping_rdram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mapping_rdram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_mapping_rdram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dram.dir/micro_dram.cpp.o"
+  "CMakeFiles/micro_dram.dir/micro_dram.cpp.o.d"
+  "micro_dram"
+  "micro_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

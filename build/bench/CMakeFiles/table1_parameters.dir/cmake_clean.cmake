@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_parameters.dir/table1_parameters.cpp.o"
+  "CMakeFiles/table1_parameters.dir/table1_parameters.cpp.o.d"
+  "table1_parameters"
+  "table1_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_tuning.dir/channel_tuning.cpp.o"
+  "CMakeFiles/channel_tuning.dir/channel_tuning.cpp.o.d"
+  "channel_tuning"
+  "channel_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_policy_study.dir/fetch_policy_study.cpp.o"
+  "CMakeFiles/fetch_policy_study.dir/fetch_policy_study.cpp.o.d"
+  "fetch_policy_study"
+  "fetch_policy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_policy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

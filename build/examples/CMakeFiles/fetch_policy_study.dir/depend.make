@@ -1,0 +1,2 @@
+# Empty dependencies file for fetch_policy_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_study.dir/scheduler_study.cpp.o"
+  "CMakeFiles/scheduler_study.dir/scheduler_study.cpp.o.d"
+  "scheduler_study"
+  "scheduler_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

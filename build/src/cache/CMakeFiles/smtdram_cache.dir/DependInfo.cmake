@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_array.cc" "src/cache/CMakeFiles/smtdram_cache.dir/cache_array.cc.o" "gcc" "src/cache/CMakeFiles/smtdram_cache.dir/cache_array.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/smtdram_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/smtdram_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/tlb.cc" "src/cache/CMakeFiles/smtdram_cache.dir/tlb.cc.o" "gcc" "src/cache/CMakeFiles/smtdram_cache.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smtdram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/smtdram_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtdram_cache.dir/cache_array.cc.o"
+  "CMakeFiles/smtdram_cache.dir/cache_array.cc.o.d"
+  "CMakeFiles/smtdram_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/smtdram_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/smtdram_cache.dir/tlb.cc.o"
+  "CMakeFiles/smtdram_cache.dir/tlb.cc.o.d"
+  "libsmtdram_cache.a"
+  "libsmtdram_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtdram_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

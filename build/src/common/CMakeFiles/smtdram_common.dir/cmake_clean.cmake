@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtdram_common.dir/flags.cc.o"
+  "CMakeFiles/smtdram_common.dir/flags.cc.o.d"
+  "CMakeFiles/smtdram_common.dir/logging.cc.o"
+  "CMakeFiles/smtdram_common.dir/logging.cc.o.d"
+  "CMakeFiles/smtdram_common.dir/stats.cc.o"
+  "CMakeFiles/smtdram_common.dir/stats.cc.o.d"
+  "libsmtdram_common.a"
+  "libsmtdram_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtdram_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

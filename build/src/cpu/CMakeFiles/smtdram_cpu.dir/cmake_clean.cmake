@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtdram_cpu.dir/branch_predictor.cc.o"
+  "CMakeFiles/smtdram_cpu.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/smtdram_cpu.dir/fetch_policy.cc.o"
+  "CMakeFiles/smtdram_cpu.dir/fetch_policy.cc.o.d"
+  "CMakeFiles/smtdram_cpu.dir/smt_core.cc.o"
+  "CMakeFiles/smtdram_cpu.dir/smt_core.cc.o.d"
+  "libsmtdram_cpu.a"
+  "libsmtdram_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtdram_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmtdram_cpu.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_mapping.cc" "src/dram/CMakeFiles/smtdram_dram.dir/address_mapping.cc.o" "gcc" "src/dram/CMakeFiles/smtdram_dram.dir/address_mapping.cc.o.d"
+  "/root/repo/src/dram/dram_config.cc" "src/dram/CMakeFiles/smtdram_dram.dir/dram_config.cc.o" "gcc" "src/dram/CMakeFiles/smtdram_dram.dir/dram_config.cc.o.d"
+  "/root/repo/src/dram/dram_system.cc" "src/dram/CMakeFiles/smtdram_dram.dir/dram_system.cc.o" "gcc" "src/dram/CMakeFiles/smtdram_dram.dir/dram_system.cc.o.d"
+  "/root/repo/src/dram/memory_controller.cc" "src/dram/CMakeFiles/smtdram_dram.dir/memory_controller.cc.o" "gcc" "src/dram/CMakeFiles/smtdram_dram.dir/memory_controller.cc.o.d"
+  "/root/repo/src/dram/scheduler.cc" "src/dram/CMakeFiles/smtdram_dram.dir/scheduler.cc.o" "gcc" "src/dram/CMakeFiles/smtdram_dram.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smtdram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtdram_dram.dir/address_mapping.cc.o"
+  "CMakeFiles/smtdram_dram.dir/address_mapping.cc.o.d"
+  "CMakeFiles/smtdram_dram.dir/dram_config.cc.o"
+  "CMakeFiles/smtdram_dram.dir/dram_config.cc.o.d"
+  "CMakeFiles/smtdram_dram.dir/dram_system.cc.o"
+  "CMakeFiles/smtdram_dram.dir/dram_system.cc.o.d"
+  "CMakeFiles/smtdram_dram.dir/memory_controller.cc.o"
+  "CMakeFiles/smtdram_dram.dir/memory_controller.cc.o.d"
+  "CMakeFiles/smtdram_dram.dir/scheduler.cc.o"
+  "CMakeFiles/smtdram_dram.dir/scheduler.cc.o.d"
+  "libsmtdram_dram.a"
+  "libsmtdram_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtdram_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

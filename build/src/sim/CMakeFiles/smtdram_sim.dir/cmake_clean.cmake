@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtdram_sim.dir/experiment.cc.o"
+  "CMakeFiles/smtdram_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/smtdram_sim.dir/smt_system.cc.o"
+  "CMakeFiles/smtdram_sim.dir/smt_system.cc.o.d"
+  "libsmtdram_sim.a"
+  "libsmtdram_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtdram_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/spec2000.cc" "src/workload/CMakeFiles/smtdram_workload.dir/spec2000.cc.o" "gcc" "src/workload/CMakeFiles/smtdram_workload.dir/spec2000.cc.o.d"
+  "/root/repo/src/workload/synthetic_stream.cc" "src/workload/CMakeFiles/smtdram_workload.dir/synthetic_stream.cc.o" "gcc" "src/workload/CMakeFiles/smtdram_workload.dir/synthetic_stream.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/smtdram_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/smtdram_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smtdram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/smtdram_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/smtdram_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/smtdram_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

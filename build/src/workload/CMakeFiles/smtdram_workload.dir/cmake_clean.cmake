@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtdram_workload.dir/spec2000.cc.o"
+  "CMakeFiles/smtdram_workload.dir/spec2000.cc.o.d"
+  "CMakeFiles/smtdram_workload.dir/synthetic_stream.cc.o"
+  "CMakeFiles/smtdram_workload.dir/synthetic_stream.cc.o.d"
+  "CMakeFiles/smtdram_workload.dir/trace.cc.o"
+  "CMakeFiles/smtdram_workload.dir/trace.cc.o.d"
+  "libsmtdram_workload.a"
+  "libsmtdram_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtdram_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmtdram_workload.a"
+)

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_test.dir/cache/cache_array_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/cache_array_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/hierarchy_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/hierarchy_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/tlb_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/tlb_test.cc.o.d"
+  "cache_test"
+  "cache_test.pdb"
+  "cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

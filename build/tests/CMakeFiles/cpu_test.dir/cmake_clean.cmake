@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_test.dir/cpu/branch_predictor_test.cc.o"
+  "CMakeFiles/cpu_test.dir/cpu/branch_predictor_test.cc.o.d"
+  "CMakeFiles/cpu_test.dir/cpu/fetch_policy_test.cc.o"
+  "CMakeFiles/cpu_test.dir/cpu/fetch_policy_test.cc.o.d"
+  "CMakeFiles/cpu_test.dir/cpu/smt_core_test.cc.o"
+  "CMakeFiles/cpu_test.dir/cpu/smt_core_test.cc.o.d"
+  "cpu_test"
+  "cpu_test.pdb"
+  "cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

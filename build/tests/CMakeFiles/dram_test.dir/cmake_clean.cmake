@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test.dir/dram/address_mapping_test.cc.o"
+  "CMakeFiles/dram_test.dir/dram/address_mapping_test.cc.o.d"
+  "CMakeFiles/dram_test.dir/dram/dram_config_test.cc.o"
+  "CMakeFiles/dram_test.dir/dram/dram_config_test.cc.o.d"
+  "CMakeFiles/dram_test.dir/dram/dram_system_test.cc.o"
+  "CMakeFiles/dram_test.dir/dram/dram_system_test.cc.o.d"
+  "CMakeFiles/dram_test.dir/dram/memory_controller_test.cc.o"
+  "CMakeFiles/dram_test.dir/dram/memory_controller_test.cc.o.d"
+  "CMakeFiles/dram_test.dir/dram/scheduler_test.cc.o"
+  "CMakeFiles/dram_test.dir/dram/scheduler_test.cc.o.d"
+  "dram_test"
+  "dram_test.pdb"
+  "dram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_test.dir/properties/controller_property_test.cc.o"
+  "CMakeFiles/property_test.dir/properties/controller_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/properties/core_property_test.cc.o"
+  "CMakeFiles/property_test.dir/properties/core_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/properties/hierarchy_property_test.cc.o"
+  "CMakeFiles/property_test.dir/properties/hierarchy_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/properties/mapping_property_test.cc.o"
+  "CMakeFiles/property_test.dir/properties/mapping_property_test.cc.o.d"
+  "property_test"
+  "property_test.pdb"
+  "property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
