@@ -30,6 +30,56 @@ declareCommonFlags(Flags &flags)
                   "the figure's own set)");
 }
 
+/**
+ * Declare the robustness knobs: fault injection, auto-refresh, and
+ * the conservation checker.  Everything defaults to off so bench
+ * output reproduces the paper's figures bit-for-bit unless a flag is
+ * given.
+ */
+inline void
+declareRobustnessFlags(Flags &flags)
+{
+    flags.declare("faults", "false",
+                  "enable DRAM fault injection (stalls/retries/delays)");
+    flags.declare("fault-seed", "1", "fault-injection random seed");
+    flags.declare("bus-stall-prob", "0.001",
+                  "per-cycle chance a bus-stall window opens");
+    flags.declare("bus-stall-cycles", "200",
+                  "length of one bus-stall window, cycles");
+    flags.declare("read-error-prob", "0.01",
+                  "chance a completing read retries (transient error)");
+    flags.declare("enqueue-delay-prob", "0.05",
+                  "chance an enqueue's eligibility is delayed");
+    flags.declare("enqueue-delay-max", "64",
+                  "max injected enqueue delay, cycles");
+    flags.declare("refresh", "false",
+                  "model per-bank auto-refresh (tREFI/tRFC)");
+    flags.declare("checker", "false",
+                  "enable the DRAM conservation/aging checker");
+}
+
+/** Apply the robustness flags to @p config's DRAM subsystem. */
+inline void
+applyRobustnessFlags(const Flags &flags, SystemConfig &config)
+{
+    if (flags.getBool("refresh"))
+        config.dram.withRefresh();
+    config.dram.checkerEnabled = flags.getBool("checker");
+    if (flags.getBool("faults")) {
+        FaultConfig &f = config.dram.faults;
+        f.enabled = true;
+        f.seed = static_cast<std::uint64_t>(flags.getInt("fault-seed"));
+        f.busStallProbability = flags.getDouble("bus-stall-prob");
+        f.busStallCycles =
+            static_cast<Cycle>(flags.getInt("bus-stall-cycles"));
+        f.readErrorProbability = flags.getDouble("read-error-prob");
+        f.enqueueDelayProbability =
+            flags.getDouble("enqueue-delay-prob");
+        f.enqueueDelayMax =
+            static_cast<Cycle>(flags.getInt("enqueue-delay-max"));
+    }
+}
+
 /** Build the experiment context from the parsed common flags. */
 inline ExperimentContext
 contextFromFlags(const Flags &flags)

@@ -19,9 +19,11 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareRobustnessFlags(flags);
     flags.parse(argc, argv,
                 "Figure 10: thread-aware DRAM scheduling vs. "
-                "thread-oblivious policies");
+                "thread-oblivious policies (--faults/--refresh/"
+                "--checker stress the comparison)");
 
     ExperimentContext ctx = contextFromFlags(flags);
     const auto mixes = mixesFromFlags(flags, memAndMixNames());
@@ -47,6 +49,7 @@ main(int argc, char **argv)
         for (SchedulerKind scheduler : allSchedulerKinds()) {
             SystemConfig config = SystemConfig::paperDefault(threads);
             config.scheduler = scheduler;
+            applyRobustnessFlags(flags, config);
             ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
         }
         const double base = ws[0];

@@ -12,6 +12,7 @@
 #include "cache/cache_array.hh"
 #include "common/random.hh"
 #include "dram/address_mapping.hh"
+#include "dram/dram_system.hh"
 #include "dram/memory_controller.hh"
 #include "workload/spec2000.hh"
 #include "workload/synthetic_stream.hh"
@@ -111,6 +112,63 @@ BM_ControllerStream(benchmark::State &state)
     state.counters["reads"] = static_cast<double>(mc.stats().reads);
 }
 BENCHMARK(BM_ControllerStream);
+
+/**
+ * Soak mode: every scheduler ticked through a request storm with
+ * fault injection (bus stalls, read retries, enqueue delays),
+ * auto-refresh, and the conservation checker enabled.  Measures the
+ * resilience layer's overhead per cycle and doubles as a stress test:
+ * the checker aborts the benchmark if any scheduler loses or
+ * duplicates a request under fire.
+ */
+void
+BM_FaultSoak(benchmark::State &state)
+{
+    const auto kind = static_cast<SchedulerKind>(state.range(0));
+    DramConfig config = DramConfig::ddrSdram(2).withRefresh(5'000, 120);
+    config.checkerEnabled = true;
+    config.checkerMaxAge = 2'000'000;
+    config.faults.enabled = true;
+    config.faults.seed = 13;
+    config.faults.busStallProbability = 0.001;
+    config.faults.busStallCycles = 200;
+    config.faults.readErrorProbability = 0.02;
+    config.faults.enqueueDelayProbability = 0.05;
+    config.faults.enqueueDelayMax = 64;
+    DramSystem dram(config, kind);
+    Rng rng(29);
+    Cycle now = 0;
+    for (auto _ : state) {
+        ++now;
+        if (rng.chance(0.3)) {
+            const Addr addr = rng.below(1ULL << 28) & ~63ULL;
+            if (rng.chance(0.8)) {
+                if (dram.canAccept(addr, MemOp::Read)) {
+                    ThreadSnapshot snap;
+                    snap.outstandingRequests =
+                        static_cast<std::uint32_t>(rng.below(8));
+                    dram.enqueueRead(
+                        addr, static_cast<ThreadId>(rng.below(8)),
+                        snap, now);
+                }
+            } else if (dram.canAccept(addr, MemOp::Write)) {
+                dram.enqueueWrite(addr, now);
+            }
+        }
+        dram.tick(now);
+    }
+    // Let in-flight traffic finish, then prove nothing was lost.
+    while (dram.busy())
+        dram.tick(++now);
+    dram.checker()->verifyDrained();
+    const ControllerStats stats = dram.aggregateStats();
+    const FaultStats faults = dram.aggregateFaultStats();
+    state.SetLabel(schedulerName(kind));
+    state.counters["retries"] = static_cast<double>(stats.readRetries);
+    state.counters["refreshes"] = static_cast<double>(stats.refreshes);
+    state.counters["stalls"] = static_cast<double>(faults.busStalls);
+}
+BENCHMARK(BM_FaultSoak)->DenseRange(0, 5)->Iterations(200'000);
 
 void
 BM_CacheArrayAccess(benchmark::State &state)

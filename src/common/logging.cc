@@ -54,6 +54,20 @@ warnImpl(const char *fmt, ...)
 }
 
 void
+warnOnceImpl(bool &fired, const char *fmt, ...)
+{
+    if (fired)
+        return;
+    fired = true;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s (further occurrences suppressed)\n",
+                 msg.c_str());
+}
+
+void
 informImpl(const char *fmt, ...)
 {
     va_list args;

@@ -25,6 +25,9 @@ namespace smtdram
                             ...) __attribute__((format(printf, 3, 4)));
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+/** warn() that fires at most once per call site (see warn_once). */
+void warnOnceImpl(bool &fired, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /** Formats like vsnprintf into a std::string. */
 std::string vformat(const char *fmt, va_list args);
@@ -37,6 +40,18 @@ std::string vformat(const char *fmt, va_list args);
     ::smtdram::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define warn(...) ::smtdram::warnImpl(__VA_ARGS__)
 #define inform(...) ::smtdram::informImpl(__VA_ARGS__)
+
+/**
+ * warn() at most once per call site for the process lifetime — for
+ * conditions hit every cycle of a tight loop (fault-injection
+ * retries, deferred refreshes) that would otherwise flood stderr.
+ */
+#define warn_once(...)                                        \
+    do {                                                      \
+        static bool _smtdram_warned_once = false;             \
+        ::smtdram::warnOnceImpl(_smtdram_warned_once,         \
+                                __VA_ARGS__);                 \
+    } while (0)
 
 /** panic() unless @p cond holds — for internal invariants. */
 #define panic_if(cond, ...)        \

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Forward-progress watchdog.
+ *
+ * Long cycle-stepped simulations can wedge in ways no unit test
+ * catches — a livelocked write-drain loop, a scheduler that starves a
+ * request forever, a fault-injection window that never closes.  The
+ * watchdog turns such silent hangs into actionable failures: the
+ * owner kick()s it on every unit of observable progress, check()s it
+ * every cycle (cheap: one subtraction), and when the configured bound
+ * elapses without a kick the watchdog runs a caller-supplied dump of
+ * machine state and panics.
+ */
+
+#ifndef SMTDRAM_COMMON_WATCHDOG_HH
+#define SMTDRAM_COMMON_WATCHDOG_HH
+
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace smtdram
+{
+
+/** Panics when too many cycles pass without observed progress. */
+class Watchdog
+{
+  public:
+    /**
+     * @param bound cycles without progress tolerated before firing;
+     *        0 disables the watchdog entirely.
+     * @param what short label naming the guarded activity, printed in
+     *        the panic message (e.g. "commit progress").
+     */
+    explicit Watchdog(Cycle bound, std::string what)
+        : bound_(bound), what_(std::move(what))
+    {
+    }
+
+    /** Record progress observed at cycle @p now. */
+    void
+    kick(Cycle now)
+    {
+        lastProgress_ = now;
+    }
+
+    Cycle bound() const { return bound_; }
+    Cycle lastProgressAt() const { return lastProgress_; }
+
+    bool
+    expired(Cycle now) const
+    {
+        return bound_ > 0 && now - lastProgress_ > bound_;
+    }
+
+    /**
+     * Panic if the bound elapsed without a kick, first calling
+     * @p dump() so the failure carries the machine state needed to
+     * debug it.  @p dump may be any nullary callable.
+     */
+    template <typename DumpFn>
+    void
+    checkOrDie(Cycle now, DumpFn &&dump) const
+    {
+        if (!expired(now))
+            return;
+        dump();
+        panic("watchdog: no %s for %llu cycles (last progress at "
+              "cycle %llu, now %llu)",
+              what_.c_str(), (unsigned long long)(now - lastProgress_),
+              (unsigned long long)lastProgress_,
+              (unsigned long long)now);
+    }
+
+  private:
+    Cycle bound_;
+    std::string what_;
+    Cycle lastProgress_ = 0;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_COMMON_WATCHDOG_HH

@@ -25,6 +25,12 @@ struct Bank {
     std::int64_t openRow = kNoRow;
     /** Cycle at which the bank can start its next transaction. */
     Cycle readyAt = 0;
+    /**
+     * Cycle at which the next auto-refresh is due (kCycleNever when
+     * refresh is not modeled).  The controller staggers initial
+     * deadlines across banks so refreshes don't align.
+     */
+    Cycle nextRefreshAt = kCycleNever;
 
     bool
     rowHit(std::uint32_t row) const

@@ -1,0 +1,79 @@
+#include "dram/checker.hh"
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+ConservationChecker::ConservationChecker(Cycle max_age, DumpFn dump)
+    : maxAge_(max_age), dump_(std::move(dump))
+{
+}
+
+void
+ConservationChecker::fail(const char *fmt, std::uint64_t id,
+                          std::uint64_t a, std::uint64_t b) const
+{
+    if (dump_)
+        dump_();
+    panic(fmt, (unsigned long long)id, (unsigned long long)a,
+          (unsigned long long)b);
+}
+
+void
+ConservationChecker::onEnqueue(const DramRequest &req, Cycle now)
+{
+    const auto [it, inserted] = live_.emplace(req.id, now);
+    if (!inserted) {
+        fail("checker: request id %llu enqueued twice (first at "
+             "cycle %llu, again at %llu)",
+             req.id, it->second, now);
+    }
+    ++enqueued_;
+}
+
+void
+ConservationChecker::onComplete(const DramRequest &req, Cycle now)
+{
+    const auto it = live_.find(req.id);
+    if (it == live_.end()) {
+        fail("checker: request id %llu completed at cycle %llu "
+             "without a matching enqueue (completions so far: %llu)",
+             req.id, now, completed_);
+    }
+    live_.erase(it);
+    ++completed_;
+}
+
+void
+ConservationChecker::checkAges(Cycle now) const
+{
+    if (maxAge_ == 0)
+        return;
+    for (const auto &[id, since] : live_) {
+        if (now - since > maxAge_) {
+            fail("checker: request id %llu enqueued at cycle %llu "
+                 "still outstanding past the age bound (now %llu)",
+                 id, since, now);
+        }
+    }
+}
+
+void
+ConservationChecker::verifyDrained() const
+{
+    if (live_.empty())
+        return;
+    const auto &[id, since] = *live_.begin();
+    fail("checker: %llu request(s) never completed, e.g. id %llu "
+         "enqueued at cycle %llu",
+         live_.size(), id, since);
+}
+
+std::uint64_t
+ConservationChecker::outstanding() const
+{
+    return static_cast<std::uint64_t>(live_.size());
+}
+
+} // namespace smtdram

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shadow conservation checker for the DRAM subsystem.
+ *
+ * The timing model moves requests between queues, banks, and the
+ * in-flight list; a bug anywhere in that plumbing shows up as a
+ * request that vanishes, completes twice, or sits in a queue forever.
+ * The checker mirrors the request population independently of the
+ * controller's own data structures and asserts, as requests flow:
+ *
+ *  - every completion corresponds to exactly one prior enqueue
+ *    (no duplicated or invented completions);
+ *  - no request completes twice;
+ *  - no outstanding request ages past a configurable bound
+ *    (starvation / livelock detection).
+ *
+ * On violation it invokes a caller-supplied state dump and panics,
+ * replacing a silent hang or silently wrong figure with a diagnostic.
+ * The checker never affects timing; it is pure observation.
+ */
+
+#ifndef SMTDRAM_DRAM_CHECKER_HH
+#define SMTDRAM_DRAM_CHECKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "dram/dram_types.hh"
+
+namespace smtdram
+{
+
+/** Tracks every live request id and proves conservation. */
+class ConservationChecker
+{
+  public:
+    using DumpFn = std::function<void()>;
+
+    /**
+     * @param max_age cycles a request may stay outstanding before the
+     *        checker declares starvation; 0 disables the age check.
+     * @param dump called with the violation still intact, before the
+     *        panic, to print machine state.
+     */
+    explicit ConservationChecker(Cycle max_age = 0,
+                                 DumpFn dump = nullptr);
+
+    void onEnqueue(const DramRequest &req, Cycle now);
+    void onComplete(const DramRequest &req, Cycle now);
+
+    /**
+     * Scan outstanding requests for one older than the age bound;
+     * dump + panic if found.  O(outstanding) — call periodically, not
+     * every cycle.
+     */
+    void checkAges(Cycle now) const;
+
+    /** Dump + panic unless every enqueued request has completed. */
+    void verifyDrained() const;
+
+    std::uint64_t outstanding() const;
+    std::uint64_t enqueued() const { return enqueued_; }
+    std::uint64_t completed() const { return completed_; }
+
+  private:
+    [[noreturn]] void fail(const char *fmt, std::uint64_t id,
+                           std::uint64_t a, std::uint64_t b) const;
+
+    Cycle maxAge_;
+    DumpFn dump_;
+    /** id -> enqueue cycle for every live request. */
+    std::unordered_map<std::uint64_t, Cycle> live_;
+    std::uint64_t enqueued_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_CHECKER_HH

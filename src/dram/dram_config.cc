@@ -28,6 +28,25 @@ DramConfig::validate() const
              gangDegree);
     fatal_if(writeLowWatermark > writeHighWatermark,
              "write drain watermarks inverted");
+    fatal_if(timing.refreshInterval == 0 && timing.refreshCycles > 0,
+             "refresh duration set but refresh interval is 0");
+    fatal_if(timing.refreshInterval > 0 &&
+                 timing.refreshCycles == 0,
+             "refresh interval set but refresh takes no time");
+    fatal_if(timing.refreshInterval > 0 &&
+                 timing.refreshCycles >= timing.refreshInterval,
+             "refresh of %llu cycles consumes the whole %llu-cycle "
+             "interval; the bank could never serve data",
+             (unsigned long long)timing.refreshCycles,
+             (unsigned long long)timing.refreshInterval);
+    fatal_if(faults.enabled &&
+                 (faults.busStallProbability < 0.0 ||
+                  faults.busStallProbability > 1.0 ||
+                  faults.readErrorProbability < 0.0 ||
+                  faults.readErrorProbability > 1.0 ||
+                  faults.enqueueDelayProbability < 0.0 ||
+                  faults.enqueueDelayProbability > 1.0),
+             "fault probabilities must lie in [0, 1]");
 }
 
 std::string

@@ -45,6 +45,14 @@ struct DramTiming {
     Cycle precharge = 45;     ///< tRP
     /** Fixed controller + interconnect overhead per direction. */
     Cycle controllerOverhead = 10;
+    /**
+     * tREFI: average interval between per-bank auto-refresh commands,
+     * in core cycles.  0 disables refresh entirely (the paper's
+     * model), keeping default results bit-identical.
+     */
+    Cycle refreshInterval = 0;
+    /** tRFC: cycles a bank is unavailable while it refreshes. */
+    Cycle refreshCycles = 0;
     /** Peak transfer rate of one physical channel, mega-transfers/s. */
     double megaTransfersPerSec = 400.0;  // 200 MHz DDR
     /** Bytes moved per transfer on one physical channel. */
@@ -68,6 +76,49 @@ struct DramTiming {
         return (c > whole) ? whole + 1 : whole;
     }
 };
+
+/**
+ * Deterministic fault-injection knobs (all off by default).
+ *
+ * Faults model the stress conditions a real controller must survive:
+ * data-bus stalls (e.g. signal-integrity retraining windows),
+ * transient read errors that force a bounded retry-with-backoff of
+ * the affected transaction, and command-path glitches that delay an
+ * enqueue's eligibility.  Every draw flows from `seed` (per-channel
+ * offset), so runs are reproducible.
+ */
+struct FaultConfig {
+    bool enabled = false;
+    std::uint64_t seed = 1;
+    /** Per-cycle chance a data-bus stall window begins. */
+    double busStallProbability = 0.0;
+    /** Length of one bus-stall window, in core cycles. */
+    Cycle busStallCycles = 0;
+    /** Chance a completing read returns corrupt data and retries. */
+    double readErrorProbability = 0.0;
+    /** Retries before the controller gives up and delivers anyway. */
+    std::uint32_t maxRetries = 8;
+    /** Base backoff before a retry re-arms; doubles per attempt. */
+    Cycle retryBackoff = 32;
+    /** Chance an enqueued request's eligibility is delayed. */
+    double enqueueDelayProbability = 0.0;
+    /** Maximum eligibility delay drawn per faulted enqueue. */
+    Cycle enqueueDelayMax = 0;
+
+    /** True if any fault mechanism can actually fire. */
+    bool
+    active() const
+    {
+        return enabled &&
+               ((busStallProbability > 0.0 && busStallCycles > 0) ||
+                readErrorProbability > 0.0 ||
+                (enqueueDelayProbability > 0.0 && enqueueDelayMax > 0));
+    }
+};
+
+/** DDR auto-refresh defaults: tREFI 7.8 us, tRFC 100 ns at 3 GHz. */
+inline constexpr Cycle kDdrRefreshIntervalCycles = 23'400;
+inline constexpr Cycle kDdrRefreshCyclesPerBank = 300;
 
 /**
  * Full configuration of one DRAM memory system.
@@ -97,6 +148,17 @@ struct DramConfig {
     std::uint32_t writeHighWatermark = 16;
     /** Stop draining once it falls back to this depth. */
     std::uint32_t writeLowWatermark = 4;
+    /** Fault-injection configuration (inert unless enabled). */
+    FaultConfig faults;
+    /**
+     * Shadow conservation checker: asserts every enqueued request
+     * completes exactly once and none ages past checkerMaxAge.
+     * Purely diagnostic — never changes timing.
+     */
+    bool checkerEnabled = false;
+    /** Queue-age bound (cycles) before the checker declares livelock;
+     *  0 disables the age check but keeps conservation checking. */
+    Cycle checkerMaxAge = 2'000'000;
 
     std::uint32_t
     logicalChannels() const
@@ -121,6 +183,23 @@ struct DramConfig {
     lineTransferCycles() const
     {
         return timing.transferCycles(lineBytes, gangDegree);
+    }
+
+    /** True if auto-refresh is modeled. */
+    bool
+    refreshEnabled() const
+    {
+        return timing.refreshInterval > 0;
+    }
+
+    /** Enable DDR-typical auto-refresh timing (chainable). */
+    DramConfig &
+    withRefresh(Cycle interval = kDdrRefreshIntervalCycles,
+                Cycle duration = kDdrRefreshCyclesPerBank)
+    {
+        timing.refreshInterval = interval;
+        timing.refreshCycles = duration;
+        return *this;
     }
 
     /** fatal()s if the parameters are inconsistent. */

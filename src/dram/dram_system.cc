@@ -1,11 +1,16 @@
 #include "dram/dram_system.hh"
 
 #include <algorithm>
+#include <iostream>
+#include <ostream>
 
 #include "common/logging.hh"
 
 namespace smtdram
 {
+
+/** Cadence of the O(outstanding) checker age scan. */
+static constexpr Cycle kAgeCheckPeriod = 4096;
 
 DramSystem::DramSystem(const DramConfig &config, SchedulerKind scheduler)
     : config_(config), mapping_(config)
@@ -13,7 +18,12 @@ DramSystem::DramSystem(const DramConfig &config, SchedulerKind scheduler)
     config_.validate();
     controllers_.reserve(config_.logicalChannels());
     for (std::uint32_t c = 0; c < config_.logicalChannels(); ++c)
-        controllers_.emplace_back(config_, scheduler);
+        controllers_.emplace_back(config_, scheduler, c);
+    if (config_.checkerEnabled) {
+        checker_ = std::make_unique<ConservationChecker>(
+            config_.checkerMaxAge,
+            [this] { dumpState(std::cerr); });
+    }
 }
 
 bool
@@ -43,6 +53,8 @@ DramSystem::enqueueRead(Addr addr, ThreadId thread,
             perThreadOutstanding_.resize(thread + 1, 0);
         ++perThreadOutstanding_[thread];
     }
+    if (checker_)
+        checker_->onEnqueue(req, now);
     controllers_[req.coord.channel].enqueue(req);
     return req.id;
 }
@@ -57,6 +69,8 @@ DramSystem::enqueueWrite(Addr addr, Cycle now)
     req.thread = kThreadNone;
     req.arrival = now;
     req.coord = mapping_.map(addr);
+    if (checker_)
+        checker_->onEnqueue(req, now);
     controllers_[req.coord.channel].enqueue(req);
     return req.id;
 }
@@ -77,6 +91,8 @@ DramSystem::tick(Cycle now)
     }
 
     for (const auto &req : completedScratch_) {
+        if (checker_)
+            checker_->onComplete(req, now);
         if (req.op != MemOp::Read)
             continue;
         if (req.thread != kThreadNone &&
@@ -87,6 +103,13 @@ DramSystem::tick(Cycle now)
         }
         if (readCallback_)
             readCallback_(req);
+    }
+
+    // Starvation scan, amortized: the map walk is O(outstanding),
+    // far too costly per cycle but negligible every few thousand.
+    if (checker_ && now - lastAgeCheck_ >= kAgeCheckPeriod) {
+        lastAgeCheck_ = now;
+        checker_->checkAges(now);
     }
 }
 
@@ -146,6 +169,10 @@ DramSystem::aggregateStats() const
         agg.rowEmpty += s.rowEmpty;
         agg.rowConflicts += s.rowConflicts;
         agg.busBusyCycles += s.busBusyCycles;
+        agg.refreshes += s.refreshes;
+        agg.refreshBlockedCycles += s.refreshBlockedCycles;
+        agg.readRetries += s.readRetries;
+        agg.retriesExhausted += s.retriesExhausted;
         // Merge the latency distributions sample-count-weighted.
         // Distribution has no merge; rebuild from moments.
         // (count/sum/min/max are sufficient for what we report.)
@@ -166,11 +193,43 @@ DramSystem::aggregateStats() const
     return agg;
 }
 
+FaultStats
+DramSystem::aggregateFaultStats() const
+{
+    FaultStats agg;
+    for (const auto &mc : controllers_) {
+        const FaultStats &f = mc.faultStats();
+        agg.busStalls += f.busStalls;
+        agg.busStallCycles += f.busStallCycles;
+        agg.readErrors += f.readErrors;
+        agg.enqueueDelays += f.enqueueDelays;
+        agg.enqueueDelayCycles += f.enqueueDelayCycles;
+    }
+    return agg;
+}
+
 void
 DramSystem::resetStats()
 {
     for (auto &mc : controllers_)
         mc.resetStats();
+}
+
+void
+DramSystem::dumpState(std::ostream &os) const
+{
+    os << "=== DramSystem state dump ===\n";
+    os << "channels=" << controllers_.size()
+       << " outstanding=" << outstandingRequests();
+    if (checker_) {
+        os << " checker{enqueued=" << checker_->enqueued()
+           << " completed=" << checker_->completed()
+           << " live=" << checker_->outstanding() << "}";
+    }
+    os << "\n";
+    for (const auto &mc : controllers_)
+        mc.dumpState(os);
+    os << "=== end DramSystem state dump ===\n";
 }
 
 } // namespace smtdram

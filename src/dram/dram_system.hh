@@ -13,9 +13,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "dram/address_mapping.hh"
+#include "dram/checker.hh"
 #include "dram/dram_config.hh"
 #include "dram/dram_types.hh"
 #include "dram/memory_controller.hh"
@@ -76,7 +79,16 @@ class DramSystem
     /** Sum of all per-channel stats. */
     ControllerStats aggregateStats() const;
 
+    /** Sum of all per-channel injected-fault stats. */
+    FaultStats aggregateFaultStats() const;
+
     void resetStats();
+
+    /** Shadow checker, or nullptr when config.checkerEnabled is off. */
+    const ConservationChecker *checker() const { return checker_.get(); }
+
+    /** Dump every channel's state (watchdog/checker diagnostics). */
+    void dumpState(std::ostream &os) const;
 
   private:
     DramConfig config_;
@@ -86,6 +98,8 @@ class DramSystem
     std::uint64_t nextId_ = 1;
     std::vector<std::uint32_t> perThreadOutstanding_;
     std::vector<DramRequest> completedScratch_;
+    std::unique_ptr<ConservationChecker> checker_;
+    Cycle lastAgeCheck_ = 0;
 };
 
 } // namespace smtdram

@@ -52,6 +52,14 @@ struct DramRequest {
     DramCoord coord;
     /** True if the processor is stalled on this line's critical word. */
     bool critical = false;
+    /**
+     * Earliest cycle the controller may issue this request; normally
+     * 0 (immediately), pushed out by fault injection (enqueue delay,
+     * retry backoff).
+     */
+    Cycle notBefore = 0;
+    /** Transient-read-error retries already taken (fault injection). */
+    std::uint32_t retries = 0;
 
     // --- Filled in by the controller when the transaction executes ---
     Cycle issueTime = 0;      ///< cycle the transaction left the queue

@@ -1,0 +1,51 @@
+#include "dram/fault_injector.hh"
+
+namespace smtdram
+{
+
+FaultInjector::FaultInjector(const FaultConfig &config,
+                             std::uint32_t channel)
+    : config_(config),
+      // Channel-distinct seeding so ganged sweeps don't see the same
+      // fault pattern on every channel.
+      rng_(config.seed + 0x5bd1'e995ULL * (channel + 1)),
+      active_(config.active())
+{
+}
+
+Cycle
+FaultInjector::sampleBusStall(Cycle now)
+{
+    if (!active_ || config_.busStallCycles == 0 || now < stallOverAt_ ||
+        !rng_.chance(config_.busStallProbability)) {
+        return 0;
+    }
+    stallOverAt_ = now + config_.busStallCycles;
+    ++stats_.busStalls;
+    stats_.busStallCycles += config_.busStallCycles;
+    return config_.busStallCycles;
+}
+
+bool
+FaultInjector::sampleReadError()
+{
+    if (!active_ || !rng_.chance(config_.readErrorProbability))
+        return false;
+    ++stats_.readErrors;
+    return true;
+}
+
+Cycle
+FaultInjector::sampleEnqueueDelay()
+{
+    if (!active_ || config_.enqueueDelayMax == 0 ||
+        !rng_.chance(config_.enqueueDelayProbability)) {
+        return 0;
+    }
+    const Cycle d = rng_.range(1, config_.enqueueDelayMax);
+    ++stats_.enqueueDelays;
+    stats_.enqueueDelayCycles += d;
+    return d;
+}
+
+} // namespace smtdram

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seeded per-channel fault injector for the DRAM subsystem.
+ *
+ * The injector owns every random draw behind the three fault
+ * mechanisms of FaultConfig — data-bus stall windows, transient read
+ * errors, and enqueue-eligibility delays — so the controller's own
+ * timing model stays deterministic and fault runs are reproducible
+ * from (config seed, channel index) alone.  With faults disabled
+ * `active()` is false and the controller takes no fault path at all,
+ * keeping default results bit-identical.
+ */
+
+#ifndef SMTDRAM_DRAM_FAULT_INJECTOR_HH
+#define SMTDRAM_DRAM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "dram/dram_config.hh"
+
+namespace smtdram
+{
+
+/** Per-channel statistics of the faults actually injected. */
+struct FaultStats {
+    std::uint64_t busStalls = 0;        ///< stall windows opened
+    std::uint64_t busStallCycles = 0;   ///< cycles of stall injected
+    std::uint64_t readErrors = 0;       ///< reads that came back bad
+    std::uint64_t enqueueDelays = 0;    ///< enqueues made ineligible
+    std::uint64_t enqueueDelayCycles = 0;
+};
+
+/** One channel's source of injected faults. */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultConfig &config, std::uint32_t channel);
+
+    bool active() const { return active_; }
+
+    /**
+     * Called once per controller tick.  Returns the number of cycles
+     * the data bus must additionally stall starting at @p now, or 0.
+     * At most one stall window is open at a time.
+     */
+    Cycle sampleBusStall(Cycle now);
+
+    /** True if the read completing now returned corrupt data. */
+    bool sampleReadError();
+
+    /** Extra cycles before a newly enqueued request is eligible. */
+    Cycle sampleEnqueueDelay();
+
+    const FaultStats &stats() const { return stats_; }
+    void resetStats() { stats_ = FaultStats(); }
+
+  private:
+    FaultConfig config_;
+    Rng rng_;
+    bool active_;
+    /** End of the currently open stall window (no overlap). */
+    Cycle stallOverAt_ = 0;
+    FaultStats stats_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_FAULT_INJECTOR_HH

@@ -1,6 +1,7 @@
 #include "dram/memory_controller.hh"
 
 #include <algorithm>
+#include <ostream>
 
 #include "common/logging.hh"
 
@@ -8,9 +9,12 @@ namespace smtdram
 {
 
 MemoryController::MemoryController(const DramConfig &config,
-                                   SchedulerKind scheduler)
+                                   SchedulerKind scheduler,
+                                   std::uint32_t channel)
     : config_(config),
+      channel_(channel),
       scheduler_(makeScheduler(scheduler)),
+      injector_(config.faults, channel),
       banks_(config.banksPerChannel()),
       // A new transaction's data phase starts after its bank-access
       // sequence, so booking the bus up to (worst access latency +
@@ -21,6 +25,13 @@ MemoryController::MemoryController(const DramConfig &config,
                   2 * config.lineTransferCycles())
 {
     config_.validate();
+    if (config_.refreshEnabled()) {
+        // Stagger first deadlines evenly through one tREFI so the
+        // banks of a channel never refresh in lockstep.
+        const Cycle interval = config_.timing.refreshInterval;
+        for (size_t i = 0; i < banks_.size(); ++i)
+            banks_[i].nextRefreshAt = (i + 1) * interval / banks_.size();
+    }
 }
 
 void
@@ -29,6 +40,13 @@ MemoryController::enqueue(DramRequest req)
     panic_if(req.coord.bank >= banks_.size(),
              "bank %u out of range (%zu banks)", req.coord.bank,
              banks_.size());
+    if (injector_.active()) {
+        // A command-path glitch delays when the request may issue,
+        // not when it occupies queue space.
+        const Cycle d = injector_.sampleEnqueueDelay();
+        if (d > 0)
+            req.notBefore = std::max(req.notBefore, req.arrival + d);
+    }
     if (req.op == MemOp::Read) {
         panic_if(!canAcceptRead(), "read queue overflow");
         readQueue_.push_back(req);
@@ -44,6 +62,8 @@ MemoryController::gatherCandidates(const std::deque<DramRequest> &queue,
                                    std::vector<SchedCandidate> &out) const
 {
     for (const auto &req : queue) {
+        if (req.notBefore > now)
+            continue;
         const Bank &bank = banks_[req.coord.bank];
         if (bank.readyAt > now)
             continue;
@@ -166,17 +186,89 @@ MemoryController::launch(DramRequest req, Cycle now)
 }
 
 void
-MemoryController::tick(Cycle now, std::vector<DramRequest> &completed)
+MemoryController::serviceRefresh(Cycle now)
 {
-    // Retire finished transactions first so their banks show as free.
+    const Cycle interval = config_.timing.refreshInterval;
+    const Cycle duration = config_.timing.refreshCycles;
+    for (Bank &bank : banks_) {
+        if (now < bank.nextRefreshAt)
+            continue;
+        // A refresh due on a busy bank waits for the in-progress
+        // transaction; DDR allows postponing a bounded number of
+        // refreshes, so flag only pathological deferral.
+        if (bank.readyAt > now) {
+            if (now - bank.nextRefreshAt > 8 * interval) {
+                warn_once("bank refresh deferred more than 8*tREFI; "
+                          "the channel is likely wedged");
+            }
+            continue;
+        }
+        bank.openRow = Bank::kNoRow;  // refresh implies precharge
+        bank.readyAt = now + duration;
+        // Catch up without scheduling a burst of back-to-back
+        // refreshes if the bank was blocked for several intervals.
+        bank.nextRefreshAt += interval;
+        if (bank.nextRefreshAt <= now)
+            bank.nextRefreshAt = now + interval;
+        ++stats_.refreshes;
+        stats_.refreshBlockedCycles += duration;
+    }
+}
+
+void
+MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
+{
     size_t done = 0;
     while (done < inFlight_.size() && inFlight_[done].completion <= now)
         ++done;
-    if (done > 0) {
-        completed.insert(completed.end(), inFlight_.begin(),
-                         inFlight_.begin() + done);
-        inFlight_.erase(inFlight_.begin(), inFlight_.begin() + done);
+    if (done == 0)
+        return;
+
+    for (size_t i = 0; i < done; ++i) {
+        DramRequest &req = inFlight_[i];
+        if (req.op == MemOp::Read && injector_.active() &&
+            injector_.sampleReadError()) {
+            if (req.retries < config_.faults.maxRetries) {
+                // Bounded retry with exponential backoff: the
+                // transaction goes back into the read queue and
+                // becomes eligible again after the backoff.  The
+                // re-queue bypasses the acceptance cap — the request
+                // already held queue space once and dropping it would
+                // break conservation.
+                ++req.retries;
+                ++stats_.readRetries;
+                const Cycle backoff =
+                    config_.faults.retryBackoff
+                    << std::min<std::uint32_t>(req.retries - 1, 16);
+                req.notBefore = now + backoff;
+                readQueue_.push_back(req);
+                continue;
+            }
+            ++stats_.retriesExhausted;
+            warn_once("read retry budget exhausted; delivering the "
+                      "transaction anyway (see retriesExhausted)");
+        }
+        completed.push_back(std::move(req));
     }
+    inFlight_.erase(inFlight_.begin(), inFlight_.begin() + done);
+}
+
+void
+MemoryController::tick(Cycle now, std::vector<DramRequest> &completed)
+{
+    // An injected bus stall occupies the data bus like a transfer
+    // would, pushing every pending data phase out.
+    if (injector_.active()) {
+        const Cycle stall = injector_.sampleBusStall(now);
+        if (stall > 0)
+            busFreeAt_ = std::max(busFreeAt_, now) + stall;
+    }
+
+    // Retire finished transactions first so their banks show as free.
+    retire(now, completed);
+
+    if (config_.refreshEnabled())
+        serviceRefresh(now);
 
     tryIssue(now);
 }
@@ -196,6 +288,64 @@ MemoryController::nextEventAt() const
         next = std::min(next, earliest_bank);
     }
     return next;
+}
+
+namespace
+{
+
+void
+dumpQueue(std::ostream &os, const char *name,
+          const std::deque<DramRequest> &queue)
+{
+    os << "  " << name << " (" << queue.size() << "):\n";
+    for (const auto &r : queue) {
+        os << "    id=" << r.id
+           << " op=" << (r.op == MemOp::Read ? "R" : "W")
+           << " addr=0x" << std::hex << r.addr << std::dec
+           << " bank=" << r.coord.bank << " row=" << r.coord.row
+           << " thread=" << static_cast<std::int64_t>(
+                  r.thread == kThreadNone ? -1 : (std::int64_t)r.thread)
+           << " arrival=" << r.arrival
+           << " notBefore=" << r.notBefore
+           << " retries=" << r.retries << "\n";
+    }
+}
+
+} // namespace
+
+void
+MemoryController::dumpState(std::ostream &os) const
+{
+    os << "MemoryController[channel " << channel_ << "] scheduler="
+       << scheduler_->name() << "\n";
+    os << "  busFreeAt=" << busFreeAt_
+       << " drainingWrites=" << (drainingWrites_ ? "yes" : "no")
+       << " outstanding=" << outstanding() << "\n";
+    os << "  banks:\n";
+    for (size_t i = 0; i < banks_.size(); ++i) {
+        const Bank &b = banks_[i];
+        os << "    [" << i << "] openRow=" << b.openRow
+           << " readyAt=" << b.readyAt;
+        if (b.nextRefreshAt != kCycleNever)
+            os << " nextRefreshAt=" << b.nextRefreshAt;
+        os << "\n";
+    }
+    dumpQueue(os, "readQueue", readQueue_);
+    dumpQueue(os, "writeQueue", writeQueue_);
+    os << "  inFlight (" << inFlight_.size() << "):\n";
+    for (const auto &r : inFlight_) {
+        os << "    id=" << r.id
+           << " op=" << (r.op == MemOp::Read ? "R" : "W")
+           << " bank=" << r.coord.bank << " issued=" << r.issueTime
+           << " completion=" << r.completion << "\n";
+    }
+    const FaultStats &f = injector_.stats();
+    os << "  faults: busStalls=" << f.busStalls
+       << " stallCycles=" << f.busStallCycles
+       << " readErrors=" << f.readErrors
+       << " enqueueDelays=" << f.enqueueDelays << "\n";
+    os << "  refresh: issued=" << stats_.refreshes
+       << " blockedCycles=" << stats_.refreshBlockedCycles << "\n";
 }
 
 } // namespace smtdram

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "dram/bank.hh"
 #include "dram/dram_config.hh"
 #include "dram/dram_types.hh"
+#include "dram/fault_injector.hh"
 #include "dram/scheduler.hh"
 
 namespace smtdram
@@ -42,6 +44,13 @@ struct ControllerStats {
     Distribution readLatency;       ///< arrival to data return, cycles
     Distribution readQueueing;      ///< arrival to issue, cycles
     std::uint64_t busBusyCycles = 0;
+    std::uint64_t refreshes = 0;    ///< per-bank refresh commands issued
+    /** Cycles banks spent unavailable inside refresh (tRFC each). */
+    std::uint64_t refreshBlockedCycles = 0;
+    /** Transactions re-executed after an injected transient error. */
+    std::uint64_t readRetries = 0;
+    /** Reads delivered after the retry budget ran out. */
+    std::uint64_t retriesExhausted = 0;
 
     /** Paper's row-buffer miss rate: misses / all accesses. */
     double
@@ -58,7 +67,10 @@ struct ControllerStats {
 class MemoryController
 {
   public:
-    MemoryController(const DramConfig &config, SchedulerKind scheduler);
+    /** @param channel logical-channel index, used only to diversify
+     *         the fault-injection seed and label state dumps. */
+    MemoryController(const DramConfig &config, SchedulerKind scheduler,
+                     std::uint32_t channel = 0);
 
     bool
     canAcceptRead() const
@@ -101,7 +113,17 @@ class MemoryController
     Cycle nextEventAt() const;
 
     const ControllerStats &stats() const { return stats_; }
-    void resetStats() { stats_ = ControllerStats(); }
+    void resetStats() { stats_ = ControllerStats(); injector_.resetStats(); }
+
+    /** Faults actually injected into this channel so far. */
+    const FaultStats &faultStats() const { return injector_.stats(); }
+
+    /**
+     * Write a human-readable snapshot of all controller state (bus,
+     * banks, queues, in-flight transactions) — the payload of the
+     * watchdog/checker diagnostics on a stuck simulation.
+     */
+    void dumpState(std::ostream &os) const;
 
     /** Visit every queued or in-flight request (for samplers). */
     template <typename Fn>
@@ -127,8 +149,16 @@ class MemoryController
     /** Execute the chosen request's timing; returns completion time. */
     void launch(DramRequest req, Cycle now);
 
+    /** Issue any due auto-refreshes to banks that are free. */
+    void serviceRefresh(Cycle now);
+
+    /** Retire transactions done by @p now, applying read-error faults. */
+    void retire(Cycle now, std::vector<DramRequest> &completed);
+
     DramConfig config_;
+    std::uint32_t channel_;
     std::unique_ptr<Scheduler> scheduler_;
+    FaultInjector injector_;
     std::vector<Bank> banks_;
     Cycle busFreeAt_ = 0;
     /** Don't book the bus further ahead than this; keeps scheduling

@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hh"
 
@@ -29,20 +30,40 @@ ExperimentContext::ExperimentContext(std::uint64_t measure_insts,
 std::string
 configSignature(const SystemConfig &config)
 {
-    char buf[160];
-    std::snprintf(
-        buf, sizeof(buf), "%s-%s-%s-%s-l3%s-pf%d",
-        config.dram.label().c_str(),
-        config.dram.mapping == MappingScheme::XorPermute ? "xor"
-                                                         : "page",
-        config.dram.pageMode == PageMode::Open ? "open" : "close",
-        schedulerName(config.scheduler).c_str(),
-        config.hierarchy.l3.infinite ? "inf" : "real",
-        (config.hierarchy.prefetchNextLine ? 1 : 0) +
-            (config.dram.channelInterleave == ChannelInterleave::Page
-                 ? 2
-                 : 0));
-    return buf;
+    // Built as a growing std::string: a fixed snprintf buffer would
+    // silently truncate once enough fields accrue, aliasing cache
+    // keys for distinct configurations.
+    const DramConfig &d = config.dram;
+    std::string sig = d.label();
+    sig += d.mapping == MappingScheme::XorPermute ? "-xor" : "-page";
+    sig += d.pageMode == PageMode::Open ? "-open" : "-close";
+    sig += "-" + schedulerName(config.scheduler);
+    sig += config.hierarchy.l3.infinite ? "-l3inf" : "-l3real";
+    sig += "-pf" + std::to_string(
+                       (config.hierarchy.prefetchNextLine ? 1 : 0) +
+                       (d.channelInterleave == ChannelInterleave::Page
+                            ? 2
+                            : 0));
+    if (d.refreshEnabled()) {
+        sig += "-ref" + std::to_string(d.timing.refreshInterval) +
+               "x" + std::to_string(d.timing.refreshCycles);
+    }
+    if (d.faults.active()) {
+        // Alone-IPC baselines under fault injection depend on every
+        // knob and on the seed; spell them all out.
+        char fbuf[96];
+        std::snprintf(fbuf, sizeof(fbuf),
+                      "-flt%g,%llu,%g,%u,%llu,%g,%llu,s%llu",
+                      d.faults.busStallProbability,
+                      (unsigned long long)d.faults.busStallCycles,
+                      d.faults.readErrorProbability, d.faults.maxRetries,
+                      (unsigned long long)d.faults.retryBackoff,
+                      d.faults.enqueueDelayProbability,
+                      (unsigned long long)d.faults.enqueueDelayMax,
+                      (unsigned long long)d.faults.seed);
+        sig += fbuf;
+    }
+    return sig;
 }
 
 double

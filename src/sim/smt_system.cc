@@ -1,8 +1,11 @@
 #include "sim/smt_system.hh"
 
 #include <algorithm>
+#include <iostream>
+#include <ostream>
 
 #include "common/logging.hh"
+#include "common/watchdog.hh"
 
 namespace smtdram
 {
@@ -129,13 +132,15 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     };
 
     // Deadlock watchdog: every thread must commit something within
-    // this many cycles or the model has a bug worth aborting on.
-    constexpr Cycle kProgressWindow = 3'000'000;
+    // the configured window or the model has a bug worth aborting
+    // on; it fires with a full state dump instead of hanging.
+    Watchdog watchdog(config_.progressWindow, "commit progress");
+    watchdog.kick(now_);
+    const auto dump = [this] { dumpState(std::cerr); };
 
     // ---- Warm-up phase (caches, predictor, DRAM state) ----
     std::vector<std::uint64_t> zero(n, 0);
     std::uint64_t last_total = 0;
-    Cycle last_progress = now_;
     while (!all_committed(warmup_insts, zero)) {
         stepCycle();
         std::uint64_t total = 0;
@@ -143,11 +148,9 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
             total += core_->perf(t).committedInsts;
         if (total != last_total) {
             last_total = total;
-            last_progress = now_;
+            watchdog.kick(now_);
         }
-        panic_if(now_ - last_progress > kProgressWindow,
-                 "no commit progress for %llu cycles during warm-up",
-                 (unsigned long long)kProgressWindow);
+        watchdog.checkOrDie(now_, dump);
     }
 
     // ---- Reset statistics at the measurement boundary ----
@@ -193,12 +196,9 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
         }
         if (total != last_total) {
             last_total = total;
-            last_progress = now_;
+            watchdog.kick(now_);
         }
-        panic_if(now_ - last_progress > kProgressWindow,
-                 "no commit progress for %llu cycles at cycle %llu",
-                 (unsigned long long)kProgressWindow,
-                 (unsigned long long)now_);
+        watchdog.checkOrDie(now_, dump);
     }
 
     // ---- Collect results ----
@@ -240,6 +240,18 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
         branches ? static_cast<double>(mispredicts) / branches : 0.0;
 
     return res;
+}
+
+void
+SmtSystem::dumpState(std::ostream &os) const
+{
+    os << "=== SmtSystem state dump (cycle " << now_ << ") ===\n";
+    for (ThreadId t = 0; t < config_.core.numThreads; ++t) {
+        os << "  thread " << t << ": committed="
+           << core_->perf(t).committedInsts << "\n";
+    }
+    dram_->dumpState(os);
+    os << "=== end SmtSystem state dump ===\n";
 }
 
 } // namespace smtdram

@@ -8,6 +8,7 @@
 #define SMTDRAM_SIM_SMT_SYSTEM_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,6 +73,13 @@ class SmtSystem
     const Hierarchy &hierarchy() const { return *hierarchy_; }
     const DramSystem &dram() const { return *dram_; }
     const SystemConfig &config() const { return config_; }
+
+    /**
+     * Dump per-thread commit counts and the full DRAM-side state —
+     * the diagnostic payload printed when the forward-progress
+     * watchdog fires.
+     */
+    void dumpState(std::ostream &os) const;
 
   private:
     /** Advance the machine one cycle. */

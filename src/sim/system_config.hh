@@ -21,6 +21,12 @@ struct SystemConfig {
     HierarchyConfig hierarchy;
     DramConfig dram = DramConfig::ddrSdram(2);
     SchedulerKind scheduler = SchedulerKind::HitFirst;
+    /**
+     * Forward-progress watchdog: every thread must commit something
+     * within this many cycles or the run aborts with a state dump
+     * (a silent hang is always a simulator bug).  0 disables it.
+     */
+    Cycle progressWindow = 3'000'000;
 
     /**
      * The paper's default evaluation system (Section 5): 2-channel

@@ -102,5 +102,70 @@ TEST(DramConfigDeathTest, NonPowerOfTwoBanksRejected)
                 "power of 2");
 }
 
+TEST(DramConfigDeathTest, InvertedWatermarksRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.writeHighWatermark = 4;
+    c.writeLowWatermark = 16;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "watermarks inverted");
+}
+
+TEST(DramConfigDeathTest, RefreshDurationWithoutIntervalRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.timing.refreshCycles = 300;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "refresh interval is 0");
+}
+
+TEST(DramConfigDeathTest, ZeroLengthRefreshRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.timing.refreshInterval = 23'400;
+    c.timing.refreshCycles = 0;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "takes no time");
+}
+
+TEST(DramConfigDeathTest, RefreshConsumingWholeIntervalRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.timing.refreshInterval = 100;
+    c.timing.refreshCycles = 100;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "consumes the whole");
+}
+
+TEST(DramConfigDeathTest, FaultProbabilityOutOfRangeRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.faults.enabled = true;
+    c.faults.readErrorProbability = 1.5;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "probabilities");
+}
+
+TEST(DramConfig, RefreshDefaultsValidateAndSignalEnabled)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    EXPECT_FALSE(c.refreshEnabled());
+    c.withRefresh();
+    EXPECT_TRUE(c.refreshEnabled());
+    EXPECT_EQ(c.timing.refreshInterval, kDdrRefreshIntervalCycles);
+    EXPECT_EQ(c.timing.refreshCycles, kDdrRefreshCyclesPerBank);
+    c.validate();  // must not fatal()
+}
+
+TEST(DramConfig, FaultConfigActiveOnlyWithAMechanism)
+{
+    FaultConfig f;
+    EXPECT_FALSE(f.active());
+    f.enabled = true;  // enabled but every knob still zero
+    EXPECT_FALSE(f.active());
+    f.readErrorProbability = 0.1;
+    EXPECT_TRUE(f.active());
+}
+
 } // namespace
 } // namespace smtdram

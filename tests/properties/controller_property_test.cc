@@ -124,6 +124,91 @@ TEST_P(ControllerProperty, RandomStormFullyCompletes)
     EXPECT_LE(mc.stats().busBusyCycles, now);
 }
 
+/**
+ * Conservation under fire: with fault injection (bus stalls, read
+ * errors with retry, enqueue delays) and auto-refresh enabled, every
+ * enqueued request must still complete exactly once.  A retried
+ * transaction re-executes on the DRAM (stats.reads grows) but is
+ * delivered to the caller a single time.
+ */
+TEST_P(ControllerProperty, ConservationHoldsUnderInjectedFaults)
+{
+    DramConfig c = config();
+    c.withRefresh(5'000, 120);
+    c.faults.enabled = true;
+    c.faults.seed = 21;
+    c.faults.busStallProbability = 0.002;
+    c.faults.busStallCycles = 200;
+    c.faults.readErrorProbability = 0.08;
+    c.faults.maxRetries = 4;
+    c.faults.retryBackoff = 16;
+    c.faults.enqueueDelayProbability = 0.15;
+    c.faults.enqueueDelayMax = 80;
+
+    AddressMapping mapping(c);
+    MemoryController mc(c, GetParam().scheduler);
+    Rng rng(987);
+
+    constexpr int kRequests = 300;
+    std::map<std::uint64_t, Cycle> arrivals;
+    std::set<std::uint64_t> completed;
+
+    int injected = 0;
+    std::uint64_t next_id = 1;
+    std::vector<DramRequest> done;
+    Cycle now = 0;
+    std::uint64_t reads = 0;
+
+    while (completed.size() < kRequests) {
+        ++now;
+        ASSERT_LT(now, 4'000'000u) << "faulted storm did not drain";
+        for (int k = 0; k < 2 && injected < kRequests; ++k) {
+            if (!rng.chance(0.3))
+                continue;
+            const bool is_read = rng.chance(0.7);
+            if (is_read ? !mc.canAcceptRead() : !mc.canAcceptWrite())
+                continue;
+            DramRequest req;
+            req.id = next_id++;
+            req.op = is_read ? MemOp::Read : MemOp::Write;
+            req.addr = rng.below(1ULL << 26) & ~Addr{63};
+            req.thread = static_cast<ThreadId>(rng.below(8));
+            req.snap.outstandingRequests =
+                static_cast<std::uint32_t>(rng.below(16));
+            req.snap.robOccupancy =
+                static_cast<std::uint32_t>(rng.below(256));
+            req.snap.iqOccupancy =
+                static_cast<std::uint32_t>(rng.below(64));
+            req.arrival = now;
+            req.coord = mapping.map(req.addr);
+            arrivals[req.id] = now;
+            mc.enqueue(req);
+            ++injected;
+            if (is_read)
+                ++reads;
+        }
+
+        done.clear();
+        mc.tick(now, done);
+        for (const DramRequest &req : done) {
+            // Exactly-once delivery, even through retries.
+            ASSERT_TRUE(arrivals.count(req.id));
+            ASSERT_TRUE(completed.insert(req.id).second);
+            ASSERT_GE(req.issueTime, arrivals[req.id]);
+            ASSERT_LE(req.completion, now);
+            ASSERT_LE(req.retries, c.faults.maxRetries);
+        }
+    }
+
+    EXPECT_FALSE(mc.busy());
+    EXPECT_EQ(completed.size(),
+              static_cast<size_t>(kRequests));  // enqueued == completed
+    // Every retry re-executed the read on the DRAM.
+    EXPECT_EQ(mc.stats().reads, reads + mc.stats().readRetries);
+    // The storm is long enough that refresh provably ran.
+    EXPECT_GT(mc.stats().refreshes, 0u);
+}
+
 TEST_P(ControllerProperty, ClosePageModeNeverHits)
 {
     if (GetParam().mode != PageMode::Close)
