@@ -56,6 +56,19 @@ declareRobustnessFlags(Flags &flags)
                   "model per-bank auto-refresh (tREFI/tRFC)");
     flags.declare("checker", "false",
                   "enable the DRAM conservation/aging checker");
+    flags.declare("ecc", "false",
+                  "model SECDED ECC (check-bit transfer overhead, "
+                  "patrol scrubbing, correctable/uncorrectable errors)");
+    flags.declare("ecc-overhead", "4",
+                  "extra data-bus cycles per burst for check bits");
+    flags.declare("ecc-correctable-prob", "1e-4",
+                  "chance a completing read has a single-bit error");
+    flags.declare("ecc-uncorrectable-prob", "1e-6",
+                  "chance a completing read has a multi-bit error");
+    flags.declare("scrub-interval", "50000",
+                  "cycles between patrol-scrub bursts per channel");
+    flags.declare("scrub-burst", "1",
+                  "scrub reads injected per scrub interval");
 }
 
 /** Apply the robustness flags to @p config's DRAM subsystem. */
@@ -77,6 +90,20 @@ applyRobustnessFlags(const Flags &flags, SystemConfig &config)
             flags.getDouble("enqueue-delay-prob");
         f.enqueueDelayMax =
             static_cast<Cycle>(flags.getInt("enqueue-delay-max"));
+    }
+    if (flags.getBool("ecc")) {
+        EccConfig &e = config.dram.ecc;
+        e.enabled = true;
+        e.checkOverheadCycles =
+            static_cast<Cycle>(flags.getInt("ecc-overhead"));
+        e.correctableProbability =
+            flags.getDouble("ecc-correctable-prob");
+        e.uncorrectableProbability =
+            flags.getDouble("ecc-uncorrectable-prob");
+        e.scrubInterval =
+            static_cast<Cycle>(flags.getInt("scrub-interval"));
+        e.scrubBurst =
+            static_cast<std::uint32_t>(flags.getInt("scrub-burst"));
     }
 }
 

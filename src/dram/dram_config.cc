@@ -47,6 +47,38 @@ DramConfig::validate() const
                   faults.enqueueDelayProbability < 0.0 ||
                   faults.enqueueDelayProbability > 1.0),
              "fault probabilities must lie in [0, 1]");
+    if (ecc.enabled) {
+        fatal_if(ecc.scrubInterval == 0,
+                 "ECC is enabled but the patrol-scrub interval is 0; "
+                 "scrubbing is what bounds latent-error accumulation");
+        fatal_if(ecc.scrubBurst == 0,
+                 "ECC patrol scrub would never inject a read "
+                 "(scrubBurst is 0)");
+        fatal_if(ecc.scrubRegionRows == 0,
+                 "ECC patrol scrub region holds no rows");
+        fatal_if(ecc.correctableProbability < 0.0 ||
+                     ecc.correctableProbability > 1.0 ||
+                     ecc.uncorrectableProbability < 0.0 ||
+                     ecc.uncorrectableProbability > 1.0,
+                 "ECC error probabilities must lie in [0, 1]");
+        fatal_if(ecc.correctableProbability +
+                         ecc.uncorrectableProbability >
+                     1.0,
+                 "ECC error probabilities sum past 1");
+        fatal_if(ecc.uncorrectableProbability >
+                     ecc.correctableProbability,
+                 "uncorrectable probability %g exceeds the correctable "
+                 "ceiling %g; SECDED multi-bit errors are strictly "
+                 "rarer than single-bit ones",
+                 ecc.uncorrectableProbability,
+                 ecc.correctableProbability);
+        fatal_if(ecc.checkOverheadCycles > lineTransferCycles(),
+                 "ECC check-bit overhead of %llu cycles exceeds the "
+                 "%llu-cycle data burst itself; SECDED adds 8 check "
+                 "bits per 64 data bits, not more than the data",
+                 (unsigned long long)ecc.checkOverheadCycles,
+                 (unsigned long long)lineTransferCycles());
+    }
 }
 
 std::string

@@ -120,6 +120,49 @@ struct FaultConfig {
 inline constexpr Cycle kDdrRefreshIntervalCycles = 23'400;
 inline constexpr Cycle kDdrRefreshCyclesPerBank = 300;
 
+/** Default per-channel patrol-scrub pacing (one burst per interval). */
+inline constexpr Cycle kDefaultScrubIntervalCycles = 50'000;
+
+/**
+ * SECDED ECC modeling knobs (all inert unless `enabled`).
+ *
+ * The model abstracts the code itself and keeps what the paper's
+ * methodology can see: check bits widen every burst by
+ * `checkOverheadCycles` of data-bus time, a patrol scrubber injects
+ * low-priority background reads that contend with demand traffic, and
+ * completing reads probabilistically carry a single-bit (correctable,
+ * fixed transparently) or multi-bit (detected-uncorrectable, delivered
+ * poisoned) error.  Error draws flow from the same seeded per-channel
+ * FaultInjector as the fault layer, so ECC runs are reproducible from
+ * (faults.seed, channel) alone.
+ */
+struct EccConfig {
+    bool enabled = false;
+    /** Extra data-bus cycles per burst moving the check bits. */
+    Cycle checkOverheadCycles = 4;
+    /** Chance a completing read carries a single-bit error. */
+    double correctableProbability = 0.0;
+    /** Chance a completing read carries a multi-bit error.  Must not
+     *  exceed correctableProbability: under SECDED's error model,
+     *  multi-bit flips are strictly rarer than single-bit ones. */
+    double uncorrectableProbability = 0.0;
+    /** Cycles between patrol-scrub bursts on each channel. */
+    Cycle scrubInterval = kDefaultScrubIntervalCycles;
+    /** Scrub reads injected per burst (per channel). */
+    std::uint32_t scrubBurst = 1;
+    /** Rows per bank the patrol walks before wrapping; bounds the
+     *  scrub address space, not correctness. */
+    std::uint32_t scrubRegionRows = 512;
+
+    /** True if error injection can actually fire. */
+    bool
+    injectsErrors() const
+    {
+        return enabled && (correctableProbability > 0.0 ||
+                           uncorrectableProbability > 0.0);
+    }
+};
+
 /**
  * Full configuration of one DRAM memory system.
  *
@@ -150,6 +193,8 @@ struct DramConfig {
     std::uint32_t writeLowWatermark = 4;
     /** Fault-injection configuration (inert unless enabled). */
     FaultConfig faults;
+    /** SECDED ECC configuration (inert unless enabled). */
+    EccConfig ecc;
     /**
      * Shadow conservation checker: asserts every enqueued request
      * completes exactly once and none ages past checkerMaxAge.
@@ -185,6 +230,25 @@ struct DramConfig {
         return timing.transferCycles(lineBytes, gangDegree);
     }
 
+    /**
+     * Data-bus occupancy of one burst including the SECDED check
+     * bits; equals lineTransferCycles() when ECC is off, keeping
+     * default timing bit-identical.
+     */
+    Cycle
+    burstCycles() const
+    {
+        return lineTransferCycles() +
+               (ecc.enabled ? ecc.checkOverheadCycles : 0);
+    }
+
+    /** Line-sized columns in one (ganged) row. */
+    std::uint32_t
+    columnsPerRow() const
+    {
+        return effectiveRowBytes() / lineBytes;
+    }
+
     /** True if auto-refresh is modeled. */
     bool
     refreshEnabled() const
@@ -199,6 +263,19 @@ struct DramConfig {
     {
         timing.refreshInterval = interval;
         timing.refreshCycles = duration;
+        return *this;
+    }
+
+    /** Enable SECDED ECC with patrol scrubbing (chainable). */
+    DramConfig &
+    withEcc(double correctable_prob = 0.0,
+            double uncorrectable_prob = 0.0,
+            Cycle scrub_interval = kDefaultScrubIntervalCycles)
+    {
+        ecc.enabled = true;
+        ecc.correctableProbability = correctable_prob;
+        ecc.uncorrectableProbability = uncorrectable_prob;
+        ecc.scrubInterval = scrub_interval;
         return *this;
     }
 

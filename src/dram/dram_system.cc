@@ -24,6 +24,58 @@ DramSystem::DramSystem(const DramConfig &config, SchedulerKind scheduler)
             config_.checkerMaxAge,
             [this] { dumpState(std::cerr); });
     }
+    if (config_.ecc.enabled) {
+        scrub_.resize(controllers_.size());
+        // Stagger first bursts through one interval so multi-channel
+        // systems never scrub in lockstep (same idea as refresh).
+        const Cycle interval = config_.ecc.scrubInterval;
+        for (size_t c = 0; c < scrub_.size(); ++c)
+            scrub_[c].nextAt = (c + 1) * interval / scrub_.size();
+    }
+}
+
+void
+DramSystem::serviceScrub(Cycle now)
+{
+    const EccConfig &ecc = config_.ecc;
+    const std::uint32_t columns = config_.columnsPerRow();
+    const std::uint32_t banks = config_.banksPerChannel();
+    for (std::uint32_t c = 0; c < scrub_.size(); ++c) {
+        ScrubState &s = scrub_[c];
+        if (now < s.nextAt)
+            continue;
+        MemoryController &mc = controllers_[c];
+        // One burst per interval, bounded by what is still queued: a
+        // channel too loaded to drain its previous burst skips ahead
+        // instead of accumulating scrub backlog without limit.
+        for (std::uint32_t i = mc.queuedScrubs(); i < ecc.scrubBurst;
+             ++i) {
+            DramRequest req;
+            req.id = nextId_++;
+            req.op = MemOp::Read;
+            req.scrub = true;
+            req.thread = kThreadNone;
+            req.arrival = now;
+            req.addr = kAddrInvalid;  // patrol walks coordinates
+            req.coord = {c, s.bank, s.row, s.column};
+            req.critical = false;
+            // Sequential patrol: next column, then next row, then
+            // next bank — mostly row hits, like real scrubbers.
+            if (++s.column >= columns) {
+                s.column = 0;
+                if (++s.row >= ecc.scrubRegionRows) {
+                    s.row = 0;
+                    s.bank = (s.bank + 1) % banks;
+                }
+            }
+            if (checker_)
+                checker_->onEnqueue(req, now);
+            mc.enqueue(req);
+        }
+        s.nextAt += ecc.scrubInterval;
+        if (s.nextAt <= now)
+            s.nextAt = now + ecc.scrubInterval;
+    }
 }
 
 bool
@@ -78,6 +130,9 @@ DramSystem::enqueueWrite(Addr addr, Cycle now)
 void
 DramSystem::tick(Cycle now)
 {
+    if (!scrub_.empty())
+        serviceScrub(now);
+
     completedScratch_.clear();
     for (auto &mc : controllers_)
         mc.tick(now, completedScratch_);
@@ -93,7 +148,9 @@ DramSystem::tick(Cycle now)
     for (const auto &req : completedScratch_) {
         if (checker_)
             checker_->onComplete(req, now);
-        if (req.op != MemOp::Read)
+        // Scrub completions are internal maintenance: conserved by
+        // the checker above but invisible to the demand callback.
+        if (req.op != MemOp::Read || req.scrub)
             continue;
         if (req.thread != kThreadNone &&
             req.thread < perThreadOutstanding_.size()) {
@@ -173,6 +230,10 @@ DramSystem::aggregateStats() const
         agg.refreshBlockedCycles += s.refreshBlockedCycles;
         agg.readRetries += s.readRetries;
         agg.retriesExhausted += s.retriesExhausted;
+        agg.scrubReads += s.scrubReads;
+        agg.correctedErrors += s.correctedErrors;
+        agg.uncorrectableErrors += s.uncorrectableErrors;
+        agg.eccCheckCycles += s.eccCheckCycles;
         // Merge the latency distributions sample-count-weighted.
         // Distribution has no merge; rebuild from moments.
         // (count/sum/min/max are sufficient for what we report.)
@@ -204,6 +265,8 @@ DramSystem::aggregateFaultStats() const
         agg.readErrors += f.readErrors;
         agg.enqueueDelays += f.enqueueDelays;
         agg.enqueueDelayCycles += f.enqueueDelayCycles;
+        agg.eccSingleBit += f.eccSingleBit;
+        agg.eccMultiBit += f.eccMultiBit;
     }
     return agg;
 }
@@ -221,6 +284,12 @@ DramSystem::dumpState(std::ostream &os) const
     os << "=== DramSystem state dump ===\n";
     os << "channels=" << controllers_.size()
        << " outstanding=" << outstandingRequests();
+    if (config_.ecc.enabled) {
+        const ControllerStats agg = aggregateStats();
+        os << " ecc{scrubReads=" << agg.scrubReads
+           << " corrected=" << agg.correctedErrors
+           << " uncorrectable=" << agg.uncorrectableErrors << "}";
+    }
     if (checker_) {
         os << " checker{enqueued=" << checker_->enqueued()
            << " completed=" << checker_->completed()

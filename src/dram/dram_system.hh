@@ -91,6 +91,21 @@ class DramSystem
     void dumpState(std::ostream &os) const;
 
   private:
+    /**
+     * Inject due patrol-scrub reads.  Generation lives here, not in
+     * the controller, so scrub requests take the same id/checker path
+     * as demand traffic and conservation covers them.
+     */
+    void serviceScrub(Cycle now);
+
+    /** Per-channel patrol-scrub pacing and address cursor. */
+    struct ScrubState {
+        Cycle nextAt = 0;
+        std::uint32_t bank = 0;
+        std::uint32_t row = 0;
+        std::uint32_t column = 0;
+    };
+
     DramConfig config_;
     AddressMapping mapping_;
     std::vector<MemoryController> controllers_;
@@ -100,6 +115,7 @@ class DramSystem
     std::vector<DramRequest> completedScratch_;
     std::unique_ptr<ConservationChecker> checker_;
     Cycle lastAgeCheck_ = 0;
+    std::vector<ScrubState> scrub_;
 };
 
 } // namespace smtdram

@@ -60,12 +60,20 @@ struct DramRequest {
     Cycle notBefore = 0;
     /** Transient-read-error retries already taken (fault injection). */
     std::uint32_t retries = 0;
+    /** True for ECC patrol-scrub reads (background maintenance
+     *  traffic; never delivered through the read callback). */
+    bool scrub = false;
 
     // --- Filled in by the controller when the transaction executes ---
     Cycle issueTime = 0;      ///< cycle the transaction left the queue
     Cycle completion = 0;     ///< cycle data is back at the controller
     bool rowHit = false;      ///< column access hit the open row
     bool bankWasIdle = false; ///< bank had no open row (no conflict)
+    /** Single-bit error found and fixed transparently by SECDED. */
+    bool corrected = false;
+    /** Detected uncorrectable error: the line is delivered poisoned
+     *  so the consumer sees the failure instead of silent data. */
+    bool poisoned = false;
 };
 
 } // namespace smtdram

@@ -8,13 +8,20 @@
 namespace smtdram
 {
 
+/**
+ * A scrub read older than this many scrub intervals escalates to
+ * demand priority; bounded staleness, mirroring the deferred-refresh
+ * bound above.
+ */
+static constexpr Cycle kScrubEscalationIntervals = 8;
+
 MemoryController::MemoryController(const DramConfig &config,
                                    SchedulerKind scheduler,
                                    std::uint32_t channel)
     : config_(config),
       channel_(channel),
       scheduler_(makeScheduler(scheduler)),
-      injector_(config.faults, channel),
+      injector_(config.faults, config.ecc, channel),
       banks_(config.banksPerChannel()),
       // A new transaction's data phase starts after its bank-access
       // sequence, so booking the bus up to (worst access latency +
@@ -22,7 +29,7 @@ MemoryController::MemoryController(const DramConfig &config,
       // scheduling decisions late.
       maxBusLead_(config.timing.precharge + config.timing.rowAccess +
                   config.timing.columnAccess +
-                  2 * config.lineTransferCycles())
+                  2 * config.burstCycles())
 {
     config_.validate();
     if (config_.refreshEnabled()) {
@@ -47,7 +54,14 @@ MemoryController::enqueue(DramRequest req)
         if (d > 0)
             req.notBefore = std::max(req.notBefore, req.arrival + d);
     }
-    if (req.op == MemOp::Read) {
+    if (req.scrub) {
+        // Patrol scrub is paced by the generator; a runaway queue
+        // means the pacing logic is broken, not that load is high.
+        panic_if(req.op != MemOp::Read, "scrub requests are reads");
+        panic_if(scrubQueue_.size() >= config_.readQueueCap,
+                 "scrub queue overflow");
+        scrubQueue_.push_back(req);
+    } else if (req.op == MemOp::Read) {
         panic_if(!canAcceptRead(), "read queue overflow");
         readQueue_.push_back(req);
     } else {
@@ -77,6 +91,30 @@ MemoryController::gatherCandidates(const std::deque<DramRequest> &queue,
 }
 
 void
+MemoryController::gatherScrubCandidates(
+    Cycle now, bool escalated_only,
+    std::vector<SchedCandidate> &out) const
+{
+    const Cycle deadline =
+        kScrubEscalationIntervals * config_.ecc.scrubInterval;
+    for (const auto &req : scrubQueue_) {
+        if (req.notBefore > now)
+            continue;
+        if (escalated_only && now - req.arrival <= deadline)
+            continue;
+        const Bank &bank = banks_[req.coord.bank];
+        if (bank.readyAt > now)
+            continue;
+        SchedCandidate c;
+        c.req = &req;
+        c.rowHit = config_.pageMode == PageMode::Open &&
+                   bank.rowHit(req.coord.row);
+        c.bankIdle = bank.idle();
+        out.push_back(c);
+    }
+}
+
+void
 MemoryController::tryIssue(Cycle now)
 {
     // Scheduling decisions are taken as late as possible: never book
@@ -91,15 +129,24 @@ MemoryController::tryIssue(Cycle now)
         drainingWrites_ = false;
 
     std::vector<SchedCandidate> candidates;
-    candidates.reserve(readQueue_.size() + writeQueue_.size());
+    candidates.reserve(readQueue_.size() + writeQueue_.size() +
+                       scrubQueue_.size());
     gatherCandidates(readQueue_, now, candidates);
+    // A scrub read stale past its deadline competes with demand.
+    if (!scrubQueue_.empty())
+        gatherScrubCandidates(now, /*escalated_only=*/true, candidates);
     // Writes compete only when draining or when no read could go.
     if (drainingWrites_ || candidates.empty())
         gatherCandidates(writeQueue_, now, candidates);
+    // Fresh scrub reads take whatever cycles nothing else wants.
+    if (candidates.empty())
+        gatherScrubCandidates(now, /*escalated_only=*/false,
+                              candidates);
     if (candidates.empty())
         return;
 
-    const size_t queued = readQueue_.size() + writeQueue_.size();
+    const size_t queued = readQueue_.size() + writeQueue_.size() +
+                          scrubQueue_.size();
     const size_t pick = scheduler_->pick(candidates, queued);
     panic_if(pick >= candidates.size(), "scheduler picked out of range");
     const DramRequest *chosen = candidates[pick].req;
@@ -118,7 +165,8 @@ MemoryController::tryIssue(Cycle now)
     };
     DramRequest req;
     bool found = remove_from(readQueue_, req) ||
-                 remove_from(writeQueue_, req);
+                 remove_from(writeQueue_, req) ||
+                 remove_from(scrubQueue_, req);
     panic_if(!found, "picked request vanished from queues");
 
     launch(std::move(req), now);
@@ -147,13 +195,16 @@ MemoryController::launch(DramRequest req, Cycle now)
         ++stats_.rowConflicts;
     }
 
-    const Cycle transfer = config_.lineTransferCycles();
+    // With ECC the burst also moves the check bits.
+    const Cycle transfer = config_.burstCycles();
     const Cycle data_ready = now + access_lat;
     const Cycle data_start = std::max(data_ready, busFreeAt_);
     const Cycle data_end = data_start + transfer;
 
     busFreeAt_ = data_end;
     stats_.busBusyCycles += transfer;
+    if (config_.ecc.enabled)
+        stats_.eccCheckCycles += config_.ecc.checkOverheadCycles;
 
     if (open_mode) {
         bank.openRow = req.coord.row;
@@ -169,7 +220,11 @@ MemoryController::launch(DramRequest req, Cycle now)
     req.bankWasIdle = idle;
     req.completion = data_end + t.controllerOverhead;
 
-    if (req.op == MemOp::Read) {
+    if (req.scrub) {
+        // Background maintenance: counted apart from demand so the
+        // paper's reads/latency stats keep their meaning.
+        ++stats_.scrubReads;
+    } else if (req.op == MemOp::Read) {
         ++stats_.reads;
         stats_.readQueueing.sample(static_cast<double>(now - req.arrival));
         stats_.readLatency.sample(
@@ -226,27 +281,55 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
 
     for (size_t i = 0; i < done; ++i) {
         DramRequest &req = inFlight_[i];
+        bool exhausted = false;
         if (req.op == MemOp::Read && injector_.active() &&
             injector_.sampleReadError()) {
             if (req.retries < config_.faults.maxRetries) {
                 // Bounded retry with exponential backoff: the
-                // transaction goes back into the read queue and
-                // becomes eligible again after the backoff.  The
-                // re-queue bypasses the acceptance cap — the request
-                // already held queue space once and dropping it would
-                // break conservation.
+                // transaction goes back into its queue and becomes
+                // eligible again after the backoff.  The re-queue
+                // bypasses the acceptance cap — the request already
+                // held queue space once and dropping it would break
+                // conservation.
                 ++req.retries;
                 ++stats_.readRetries;
                 const Cycle backoff =
                     config_.faults.retryBackoff
                     << std::min<std::uint32_t>(req.retries - 1, 16);
                 req.notBefore = now + backoff;
-                readQueue_.push_back(req);
+                (req.scrub ? scrubQueue_ : readQueue_).push_back(req);
                 continue;
             }
             ++stats_.retriesExhausted;
-            warn_once("read retry budget exhausted; delivering the "
-                      "transaction anyway (see retriesExhausted)");
+            exhausted = true;
+            if (config_.ecc.enabled) {
+                // A persistently failing read is exactly what SECDED
+                // calls a detected uncorrectable error: deliver the
+                // line poisoned instead of pretending it is good.
+                req.poisoned = true;
+                ++stats_.uncorrectableErrors;
+            } else {
+                warn_once("read retry budget exhausted; delivering "
+                          "the transaction anyway (audit via the "
+                          "retriesExhausted stat and dumpState())");
+            }
+        }
+        if (req.op == MemOp::Read && !exhausted &&
+            injector_.eccActive()) {
+            switch (injector_.sampleEccRead()) {
+              case EccOutcome::Corrected:
+                // Single-bit flip: SECDED fixes it in the controller
+                // data path; only the stat and the flag are visible.
+                req.corrected = true;
+                ++stats_.correctedErrors;
+                break;
+              case EccOutcome::Uncorrectable:
+                req.poisoned = true;
+                ++stats_.uncorrectableErrors;
+                break;
+              case EccOutcome::Clean:
+                break;
+            }
         }
         completed.push_back(std::move(req));
     }
@@ -279,7 +362,8 @@ MemoryController::nextEventAt() const
     Cycle next = kCycleNever;
     if (!inFlight_.empty())
         next = std::min(next, inFlight_.front().completion);
-    if (!readQueue_.empty() || !writeQueue_.empty()) {
+    if (!readQueue_.empty() || !writeQueue_.empty() ||
+        !scrubQueue_.empty()) {
         // A queued request becomes issuable when some bank frees; the
         // conservative answer "next cycle" is cheap and correct.
         Cycle earliest_bank = kCycleNever;
@@ -332,6 +416,8 @@ MemoryController::dumpState(std::ostream &os) const
     }
     dumpQueue(os, "readQueue", readQueue_);
     dumpQueue(os, "writeQueue", writeQueue_);
+    if (config_.ecc.enabled)
+        dumpQueue(os, "scrubQueue", scrubQueue_);
     os << "  inFlight (" << inFlight_.size() << "):\n";
     for (const auto &r : inFlight_) {
         os << "    id=" << r.id
@@ -344,8 +430,16 @@ MemoryController::dumpState(std::ostream &os) const
        << " stallCycles=" << f.busStallCycles
        << " readErrors=" << f.readErrors
        << " enqueueDelays=" << f.enqueueDelays << "\n";
+    os << "  retries: readRetries=" << stats_.readRetries
+       << " retriesExhausted=" << stats_.retriesExhausted << "\n";
     os << "  refresh: issued=" << stats_.refreshes
        << " blockedCycles=" << stats_.refreshBlockedCycles << "\n";
+    if (config_.ecc.enabled) {
+        os << "  ecc: scrubReads=" << stats_.scrubReads
+           << " corrected=" << stats_.correctedErrors
+           << " uncorrectable=" << stats_.uncorrectableErrors
+           << " checkCycles=" << stats_.eccCheckCycles << "\n";
+    }
 }
 
 } // namespace smtdram

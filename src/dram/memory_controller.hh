@@ -13,6 +13,11 @@
  * eligible only when no read is, or when the write queue passes its
  * high watermark, in which case the controller drains writes down to
  * the low watermark (they still compete under the policy's ordering).
+ *
+ * ECC patrol-scrub reads sit below both: they issue only when nothing
+ * else can, except that a scrub read stale past a bounded-staleness
+ * deadline is escalated to demand priority so sustained load cannot
+ * stall patrol progress forever.
  */
 
 #ifndef SMTDRAM_DRAM_MEMORY_CONTROLLER_HH
@@ -49,8 +54,21 @@ struct ControllerStats {
     std::uint64_t refreshBlockedCycles = 0;
     /** Transactions re-executed after an injected transient error. */
     std::uint64_t readRetries = 0;
-    /** Reads delivered after the retry budget ran out. */
+    /**
+     * Reads whose retry budget ran out.  With ECC off they are still
+     * delivered (legacy behavior, auditable through this counter and
+     * dumpState()); with ECC on they are delivered poisoned and also
+     * count into uncorrectableErrors.
+     */
     std::uint64_t retriesExhausted = 0;
+    /** ECC patrol-scrub transactions executed. */
+    std::uint64_t scrubReads = 0;
+    /** Reads delivered after a transparent single-bit SECDED fix-up. */
+    std::uint64_t correctedErrors = 0;
+    /** Reads delivered poisoned (detected uncorrectable error). */
+    std::uint64_t uncorrectableErrors = 0;
+    /** Extra data-bus cycles spent moving SECDED check bits. */
+    std::uint64_t eccCheckCycles = 0;
 
     /** Paper's row-buffer miss rate: misses / all accesses. */
     double
@@ -98,11 +116,13 @@ class MemoryController
     size_t
     outstanding() const
     {
-        return readQueue_.size() + writeQueue_.size() + inFlight_.size();
+        return readQueue_.size() + writeQueue_.size() +
+               scrubQueue_.size() + inFlight_.size();
     }
 
     size_t queuedReads() const { return readQueue_.size(); }
     size_t queuedWrites() const { return writeQueue_.size(); }
+    size_t queuedScrubs() const { return scrubQueue_.size(); }
 
     bool busy() const { return outstanding() > 0; }
 
@@ -134,6 +154,8 @@ class MemoryController
             fn(r);
         for (const auto &r : writeQueue_)
             fn(r);
+        for (const auto &r : scrubQueue_)
+            fn(r);
         for (const auto &r : inFlight_)
             fn(r);
     }
@@ -145,6 +167,14 @@ class MemoryController
     /** Collect policy candidates from @p queue. */
     void gatherCandidates(const std::deque<DramRequest> &queue, Cycle now,
                           std::vector<SchedCandidate> &out) const;
+
+    /**
+     * Collect scrub candidates.  With @p escalated_only, include only
+     * scrub reads stale enough to outrank demand traffic (bounded
+     * staleness keeps patrol progress under sustained demand load).
+     */
+    void gatherScrubCandidates(Cycle now, bool escalated_only,
+                               std::vector<SchedCandidate> &out) const;
 
     /** Execute the chosen request's timing; returns completion time. */
     void launch(DramRequest req, Cycle now);
@@ -167,6 +197,8 @@ class MemoryController
 
     std::deque<DramRequest> readQueue_;
     std::deque<DramRequest> writeQueue_;
+    /** ECC patrol-scrub reads; lowest priority unless escalated. */
+    std::deque<DramRequest> scrubQueue_;
     /** Launched transactions ordered by completion time. */
     std::vector<DramRequest> inFlight_;
     bool drainingWrites_ = false;

@@ -48,6 +48,19 @@ configSignature(const SystemConfig &config)
         sig += "-ref" + std::to_string(d.timing.refreshInterval) +
                "x" + std::to_string(d.timing.refreshCycles);
     }
+    if (d.ecc.enabled) {
+        // ECC changes burst timing and adds scrub traffic; baselines
+        // cached for a non-ECC machine must not be reused.
+        char ebuf[96];
+        std::snprintf(ebuf, sizeof(ebuf),
+                      "-ecc%llu,%g,%g,%llu,%u,%u",
+                      (unsigned long long)d.ecc.checkOverheadCycles,
+                      d.ecc.correctableProbability,
+                      d.ecc.uncorrectableProbability,
+                      (unsigned long long)d.ecc.scrubInterval,
+                      d.ecc.scrubBurst, d.ecc.scrubRegionRows);
+        sig += ebuf;
+    }
     if (d.faults.active()) {
         // Alone-IPC baselines under fault injection depend on every
         // knob and on the seed; spell them all out.
@@ -103,6 +116,10 @@ ExperimentContext::runMix(const SystemConfig &config,
     SmtSystem system(config, profilesForMix(mix), seed_);
     MixRun out;
     out.run = system.run(measureInsts_, warmupInsts_);
+    out.correctedErrors = out.run.dram.correctedErrors;
+    out.uncorrectableErrors = out.run.dram.uncorrectableErrors;
+    out.scrubReads = out.run.dram.scrubReads;
+    out.retriesExhausted = out.run.dram.retriesExhausted;
     for (size_t i = 0; i < mix.apps.size(); ++i) {
         const double alone =
             per_config_baselines ? aloneIpcOn(mix.apps[i], config)

@@ -25,6 +25,17 @@ struct MixRun {
     RunResult run;
     /** Weighted speedup = sum_i IPC_mix,i / IPC_alone,i  [28]. */
     double weightedSpeedup = 0.0;
+
+    // --- Reliability summary (copied out of run.dram so sweeps can
+    //     tabulate error outcomes without digging through stats) ---
+    /** Reads delivered after a transparent SECDED fix-up. */
+    std::uint64_t correctedErrors = 0;
+    /** Reads delivered poisoned (detected uncorrectable error). */
+    std::uint64_t uncorrectableErrors = 0;
+    /** ECC patrol-scrub transactions executed. */
+    std::uint64_t scrubReads = 0;
+    /** Reads whose fault-injection retry budget ran out. */
+    std::uint64_t retriesExhausted = 0;
 };
 
 /**

@@ -56,7 +56,7 @@ TEST(FaultInjector, InactiveWhenDisabled)
     f.busStallCycles = 100;
     f.readErrorProbability = 1.0;
     // enabled is false: every mechanism must stay silent.
-    FaultInjector inj(f, 0);
+    FaultInjector inj(f, EccConfig{}, 0);
     EXPECT_FALSE(inj.active());
     EXPECT_EQ(inj.sampleBusStall(1), 0u);
     EXPECT_FALSE(inj.sampleReadError());
@@ -72,7 +72,7 @@ TEST(FaultInjector, DeterministicPerSeedAndChannel)
     f.busStallProbability = 0.25;
     f.busStallCycles = 10;
     auto trace = [&f](std::uint32_t channel) {
-        FaultInjector inj(f, channel);
+        FaultInjector inj(f, EccConfig{}, channel);
         std::vector<Cycle> stalls;
         for (Cycle now = 0; now < 2000; ++now) {
             if (inj.sampleBusStall(now) > 0)
@@ -90,7 +90,7 @@ TEST(FaultInjector, StallWindowsNeverOverlap)
     f.enabled = true;
     f.busStallProbability = 1.0;
     f.busStallCycles = 50;
-    FaultInjector inj(f, 0);
+    FaultInjector inj(f, EccConfig{}, 0);
     Cycle last_end = 0;
     for (Cycle now = 0; now < 1000; ++now) {
         const Cycle stall = inj.sampleBusStall(now);

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Golden-figure regression harness: every fig* bench configuration is
+ * run at a reduced instruction budget through the library API and the
+ * key metrics (weighted speedup, per-thread IPC, row-hit rate, read
+ * queue occupancy) are rendered to a canonical text block that must
+ * match a committed `.golden` file byte for byte.
+ *
+ * The simulator is deterministic, so any diff is a real behavior
+ * change.  When a change is intentional, regenerate the snapshots
+ * with
+ *
+ *     SMTDRAM_UPDATE_GOLDENS=1 ctest -R Golden
+ *
+ * and commit the updated files together with the change that caused
+ * them.  All scenarios run with ECC disabled: the snapshots double as
+ * the proof that the ECC layer is invisible when off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cpu/fetch_policy.hh"
+#include "sim/experiment.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+/** Reduced budgets: big enough to exercise every scheduler/mapping
+ *  path, small enough that the whole suite runs in seconds. */
+constexpr std::uint64_t kInsts = 2'500;
+constexpr std::uint64_t kWarmup = 1'000;
+constexpr std::uint64_t kSeed = 42;
+
+/** Shared across tests so single-thread baselines are computed once. */
+ExperimentContext &
+ctx()
+{
+    static ExperimentContext shared(kInsts, kWarmup, kSeed);
+    return shared;
+}
+
+void
+appendMetric(std::string &out, const std::string &name, double value)
+{
+    char line[128];
+    std::snprintf(line, sizeof(line), "%s %.6f\n", name.c_str(),
+                  value);
+    out += line;
+}
+
+/** Render one mix run's key metrics under a scenario label. */
+void
+appendRun(std::string &out, const std::string &label, const MixRun &r)
+{
+    appendMetric(out, label + ".weighted_speedup", r.weightedSpeedup);
+    for (size_t i = 0; i < r.run.ipc.size(); ++i) {
+        appendMetric(out, label + ".ipc" + std::to_string(i),
+                     r.run.ipc[i]);
+    }
+    appendMetric(out, label + ".row_hit_rate",
+                 1.0 - r.run.rowMissRate);
+    appendMetric(out, label + ".read_queueing_mean",
+                 r.run.dram.readQueueing.mean());
+}
+
+/** Compare @p text with the committed snapshot (or regenerate it). */
+void
+checkGolden(const std::string &name, const std::string &text)
+{
+    const std::string path =
+        std::string(SMTDRAM_GOLDEN_DIR) + "/" + name + ".golden";
+    if (std::getenv("SMTDRAM_UPDATE_GOLDENS") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << text;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with SMTDRAM_UPDATE_GOLDENS=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), text)
+        << "metrics diverge from " << path
+        << "; if the change is intentional, regenerate with "
+           "SMTDRAM_UPDATE_GOLDENS=1 and commit the new snapshot";
+}
+
+TEST(GoldenFigures, Fig1CpiBreakdown)
+{
+    const CpiBreakdown b =
+        measureCpiBreakdown("mcf", kInsts, kWarmup, kSeed);
+    std::string text;
+    appendMetric(text, "mcf.cpi_overall", b.overall);
+    appendMetric(text, "mcf.cpi_proc", b.proc);
+    appendMetric(text, "mcf.cpi_l2", b.l2);
+    appendMetric(text, "mcf.cpi_l3", b.l3);
+    appendMetric(text, "mcf.cpi_mem", b.mem);
+    checkGolden("fig1_cpi_breakdown", text);
+}
+
+TEST(GoldenFigures, Fig2FetchPolicies)
+{
+    const WorkloadMix &mix = mixByName("2-MIX");
+    std::string text;
+    for (FetchPolicyKind policy : allFetchPolicyKinds()) {
+        SystemConfig config = SystemConfig::paperDefault(
+            static_cast<std::uint32_t>(mix.apps.size()));
+        config.core.fetchPolicy = policy;
+        appendRun(text, "2-MIX." + fetchPolicyName(policy),
+                  ctx().runMix(config, mix));
+    }
+    checkGolden("fig2_fetch_policies", text);
+}
+
+TEST(GoldenFigures, Fig3DramPerformanceLoss)
+{
+    const WorkloadMix &mix = mixByName("2-MEM");
+    const auto threads =
+        static_cast<std::uint32_t>(mix.apps.size());
+
+    SystemConfig ref = SystemConfig::paperDefault(threads);
+    ref.core.fetchPolicy = FetchPolicyKind::Icount;
+    const MixRun inf = ctx().runMix(ref.withInfiniteL3(), mix);
+
+    SystemConfig dwarn = SystemConfig::paperDefault(threads);
+    dwarn.core.fetchPolicy = FetchPolicyKind::DWarn;
+    const MixRun dw = ctx().runMix(dwarn, mix);
+
+    std::string text;
+    appendRun(text, "2-MEM.infL3-ICOUNT", inf);
+    appendRun(text, "2-MEM.dram-DWarn", dw);
+    appendMetric(text, "2-MEM.dram-DWarn.mem_per_100i",
+                 dw.run.memAccessPer100);
+    appendMetric(text, "2-MEM.tput_retained",
+                 dw.weightedSpeedup / inf.weightedSpeedup);
+    checkGolden("fig3_dram_performance_loss", text);
+}
+
+TEST(GoldenFigures, Fig4Fig5ConcurrencyHistograms)
+{
+    const MixRun r = ctx().runMix("4-MEM");
+    std::string text;
+    const Histogram &outstanding = r.run.outstandingHist;
+    for (size_t b = 0; b < outstanding.numBuckets(); ++b) {
+        appendMetric(text,
+                     "4-MEM.outstanding." + outstanding.bucketLabel(b),
+                     outstanding.bucketFraction(b));
+    }
+    appendMetric(text, "4-MEM.outstanding.frac_above8",
+                 outstanding.fractionAbove(8));
+    const Histogram &threads = r.run.threadsHist;
+    for (size_t b = 0; b < threads.numBuckets(); ++b) {
+        appendMetric(text, "4-MEM.threads." + threads.bucketLabel(b),
+                     threads.bucketFraction(b));
+    }
+    checkGolden("fig4_fig5_concurrency", text);
+}
+
+TEST(GoldenFigures, Fig6Channels)
+{
+    const WorkloadMix &mix = mixByName("2-MEM");
+    const auto threads =
+        static_cast<std::uint32_t>(mix.apps.size());
+    std::string text;
+    for (std::uint32_t channels : {2u, 4u}) {
+        SystemConfig config = SystemConfig::paperDefault(threads);
+        const MappingScheme mapping = config.dram.mapping;
+        config.dram = DramConfig::ddrSdram(channels);
+        config.dram.mapping = mapping;
+        appendRun(text,
+                  "2-MEM." + std::to_string(channels) + "ch",
+                  ctx().runMix(config, mix));
+    }
+    checkGolden("fig6_channels", text);
+}
+
+TEST(GoldenFigures, Fig7ChannelGanging)
+{
+    const WorkloadMix &mix = mixByName("2-MEM");
+    const auto threads =
+        static_cast<std::uint32_t>(mix.apps.size());
+    struct Org {
+        std::uint32_t channels;
+        std::uint32_t gang;
+    };
+    std::string text;
+    for (const Org &o : {Org{2, 1}, Org{2, 2}, Org{4, 1}, Org{4, 2}}) {
+        SystemConfig config = SystemConfig::paperDefault(threads);
+        const MappingScheme mapping = config.dram.mapping;
+        config.dram = DramConfig::ddrSdram(o.channels, o.gang);
+        config.dram.mapping = mapping;
+        const std::string label = "2-MEM." +
+                                  std::to_string(o.channels) + "C-" +
+                                  std::to_string(o.gang) + "G";
+        appendRun(text, label, ctx().runMix(config, mix));
+    }
+    checkGolden("fig7_channel_ganging", text);
+}
+
+TEST(GoldenFigures, Fig8MappingDdr)
+{
+    const WorkloadMix &mix = mixByName("2-MEM");
+    const auto threads =
+        static_cast<std::uint32_t>(mix.apps.size());
+    std::string text;
+    for (MappingScheme scheme :
+         {MappingScheme::PageInterleave, MappingScheme::XorPermute}) {
+        SystemConfig config = SystemConfig::paperDefault(threads);
+        config.dram.mapping = scheme;
+        const std::string label =
+            scheme == MappingScheme::XorPermute ? "2-MEM.xor"
+                                                : "2-MEM.page";
+        appendRun(text, label, ctx().runMix(config, mix));
+    }
+    checkGolden("fig8_mapping_ddr", text);
+}
+
+TEST(GoldenFigures, Fig9MappingRdram)
+{
+    const WorkloadMix &mix = mixByName("2-MEM");
+    const auto threads =
+        static_cast<std::uint32_t>(mix.apps.size());
+    std::string text;
+    for (MappingScheme scheme :
+         {MappingScheme::PageInterleave, MappingScheme::XorPermute}) {
+        SystemConfig config = SystemConfig::paperDefault(threads);
+        config.dram = DramConfig::directRambus(2, 4);
+        config.dram.mapping = scheme;
+        const std::string label =
+            scheme == MappingScheme::XorPermute ? "2-MEM.rdram-xor"
+                                                : "2-MEM.rdram-page";
+        appendRun(text, label, ctx().runMix(config, mix));
+    }
+    checkGolden("fig9_mapping_rdram", text);
+}
+
+TEST(GoldenFigures, Fig10Schedulers)
+{
+    const WorkloadMix &mix = mixByName("2-MEM");
+    const auto threads =
+        static_cast<std::uint32_t>(mix.apps.size());
+    std::string text;
+    for (SchedulerKind scheduler : allSchedulerKinds()) {
+        SystemConfig config = SystemConfig::paperDefault(threads);
+        config.scheduler = scheduler;
+        appendRun(text, "2-MEM." + schedulerName(scheduler),
+                  ctx().runMix(config, mix));
+    }
+    checkGolden("fig10_schedulers", text);
+}
+
+} // namespace
+} // namespace smtdram
