@@ -21,6 +21,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareObservabilityFlags(flags);
     flags.parse(argc, argv,
                 "Ablations: page mode, next-line prefetch, "
                 "criticality scheduling, write-drain watermarks");
@@ -44,6 +45,7 @@ main(int argc, char **argv)
         auto ws = [&](auto tweak) {
             SystemConfig config = SystemConfig::paperDefault(threads);
             tweak(config);
+            applyObservabilityFlags(flags, config);
             return ctx.runMix(config, mix).weightedSpeedup;
         };
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/flags.hh"
+#include "common/logging.hh"
 #include "sim/experiment.hh"
 
 namespace smtdram::bench
@@ -69,6 +70,58 @@ declareRobustnessFlags(Flags &flags)
                   "cycles between patrol-scrub bursts per channel");
     flags.declare("scrub-burst", "1",
                   "scrub reads injected per scrub interval");
+}
+
+/**
+ * Declare the observability knobs shared by every bench.  All
+ * default off: with no flag given the bench emits nothing extra and
+ * its figure output is bit-identical to an uninstrumented build.
+ */
+inline void
+declareObservabilityFlags(Flags &flags)
+{
+    flags.declare("trace", "",
+                  "write a Chrome trace-event / Perfetto JSON of the "
+                  "run to this path");
+    flags.declare("stats-json", "",
+                  "write the schema-versioned stats document to this "
+                  "path");
+    flags.declare("stats-csv", "",
+                  "write the epoch time-series CSV to this path");
+    flags.declare("epoch", "0",
+                  "cycles between stats time-series samples "
+                  "(0 = final snapshot only)");
+    flags.declare("quiet", "false",
+                  "suppress warn()/inform() chatter on stderr/stdout");
+}
+
+/**
+ * Build the observability config from the parsed flags and apply the
+ * --quiet verbosity side effect.
+ */
+inline ObservabilityConfig
+observabilityFromFlags(const Flags &flags)
+{
+    ObservabilityConfig o;
+    o.tracePath = flags.getString("trace");
+    o.statsJsonPath = flags.getString("stats-json");
+    o.statsCsvPath = flags.getString("stats-csv");
+    o.epoch = static_cast<Cycle>(flags.getInt("epoch"));
+    if (flags.getBool("quiet"))
+        setLogVerbosity(LogVerbosity::Quiet);
+    return o;
+}
+
+/**
+ * Apply the observability flags.  When a bench runs several
+ * configurations, the trace/stats paths are overwritten by each run;
+ * the files left behind describe the last mix executed (baseline
+ * alone-IPC runs never write — see ExperimentContext::aloneIpcOn).
+ */
+inline void
+applyObservabilityFlags(const Flags &flags, SystemConfig &config)
+{
+    config.observe = observabilityFromFlags(flags);
 }
 
 /** Apply the robustness flags to @p config's DRAM subsystem. */

@@ -20,6 +20,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declareRobustnessFlags(flags);
+    declareObservabilityFlags(flags);
     flags.parse(argc, argv,
                 "Figure 10: thread-aware DRAM scheduling vs. "
                 "thread-oblivious policies (--faults/--refresh/"
@@ -50,6 +51,7 @@ main(int argc, char **argv)
             SystemConfig config = SystemConfig::paperDefault(threads);
             config.scheduler = scheduler;
             applyRobustnessFlags(flags, config);
+            applyObservabilityFlags(flags, config);
             ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
         }
         const double base = ws[0];

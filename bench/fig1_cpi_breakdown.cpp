@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareObservabilityFlags(flags);
     flags.declare("apps", "",
                   "comma-separated subset of applications (default: "
                   "all 26)");
@@ -49,10 +50,11 @@ main(int argc, char **argv)
         std::string name;
         CpiBreakdown b;
     };
+    const ObservabilityConfig observe = observabilityFromFlags(flags);
     std::vector<Entry> rows;
     for (const std::string &app : apps) {
-        rows.push_back(
-            {app, measureCpiBreakdown(app, insts, warmup, seed)});
+        rows.push_back({app, measureCpiBreakdown(app, insts, warmup,
+                                                 seed, observe)});
     }
 
     std::sort(rows.begin(), rows.end(),

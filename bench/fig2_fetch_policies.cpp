@@ -16,6 +16,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareObservabilityFlags(flags);
     flags.parse(argc, argv,
                 "Figure 2: weighted speedup of four SMT fetch "
                 "policies on the 2-channel DDR SDRAM system");
@@ -39,6 +40,7 @@ main(int argc, char **argv)
             SystemConfig config = SystemConfig::paperDefault(
                 static_cast<std::uint32_t>(mix.apps.size()));
             config.core.fetchPolicy = policy;
+            applyObservabilityFlags(flags, config);
             ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
         }
         table.addRow(mix_name, ws);

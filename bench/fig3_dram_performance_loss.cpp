@@ -20,6 +20,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareObservabilityFlags(flags);
     flags.parse(argc, argv,
                 "Figure 3: performance loss due to DRAM accesses "
                 "under ICOUNT and DWarn");
@@ -64,6 +65,7 @@ main(int argc, char **argv)
 
         SystemConfig dwarn = SystemConfig::paperDefault(threads);
         dwarn.core.fetchPolicy = FetchPolicyKind::DWarn;
+        applyObservabilityFlags(flags, dwarn);
         const MixRun dw = ctx.runMix(dwarn, mix);
         const MixRun dw_eff = ctx.runMix(dwarn, mix, true);
 

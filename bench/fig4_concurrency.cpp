@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareObservabilityFlags(flags);
     flags.parse(argc, argv,
                 "Figure 4: distribution of outstanding memory "
                 "requests while the DRAM system is busy");
@@ -30,7 +31,11 @@ main(int argc, char **argv)
     ResultTable table({"1", "2-4", "5-8", "9-16", ">16", ">8frac"});
 
     for (const std::string &mix_name : mixes) {
-        const MixRun r = ctx.runMix(mix_name);
+        const WorkloadMix &mix = mixByName(mix_name);
+        SystemConfig config = SystemConfig::paperDefault(
+            static_cast<std::uint32_t>(mix.apps.size()));
+        applyObservabilityFlags(flags, config);
+        const MixRun r = ctx.runMix(config, mix);
         const Histogram &h = r.run.outstandingHist;
         std::vector<double> row;
         for (size_t b = 0; b < h.numBuckets(); ++b)

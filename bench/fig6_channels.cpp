@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareObservabilityFlags(flags);
     flags.parse(argc, argv,
                 "Figure 6: performance vs. number of independent "
                 "memory channels (2/4/8)");
@@ -42,6 +43,7 @@ main(int argc, char **argv)
             const MappingScheme mapping = config.dram.mapping;
             config.dram = DramConfig::ddrSdram(channels);
             config.dram.mapping = mapping;
+            applyObservabilityFlags(flags, config);
             ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
         }
         table.addRow(mix_name, {ws[0], ws[1], ws[2], ws[1] / ws[0],

@@ -18,6 +18,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareObservabilityFlags(flags);
     flags.parse(argc, argv,
                 "Figure 7: physical-to-logical channel clustering "
                 "(2C-1G ... 8C-4G), MEM and MIX workloads");
@@ -56,6 +57,7 @@ main(int argc, char **argv)
             const MappingScheme mapping = config.dram.mapping;
             config.dram = DramConfig::ddrSdram(o.channels, o.gang);
             config.dram.mapping = mapping;
+            applyObservabilityFlags(flags, config);
             ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
         }
         const double base = ws[0];

@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareObservabilityFlags(flags);
     flags.parse(argc, argv,
                 "Figure 8: row-buffer miss rates, page vs. XOR "
                 "mapping, 2-channel DDR SDRAM");
@@ -40,6 +41,7 @@ main(int argc, char **argv)
              {MappingScheme::PageInterleave, MappingScheme::XorPermute}) {
             SystemConfig config = SystemConfig::paperDefault(threads);
             config.dram.mapping = scheme;
+            applyObservabilityFlags(flags, config);
             rates.push_back(
                 100.0 * ctx.runMix(config, mix).run.rowMissRate);
         }

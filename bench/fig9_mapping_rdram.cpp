@@ -16,6 +16,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declareObservabilityFlags(flags);
     flags.declare("chips", "4", "RDRAM devices per channel");
     flags.parse(argc, argv,
                 "Figure 9: row-buffer miss rates, page vs. XOR "
@@ -43,6 +44,7 @@ main(int argc, char **argv)
             SystemConfig config = SystemConfig::paperDefault(threads);
             config.dram = DramConfig::directRambus(2, chips);
             config.dram.mapping = scheme;
+            applyObservabilityFlags(flags, config);
             rates.push_back(
                 100.0 * ctx.runMix(config, mix).run.rowMissRate);
         }

@@ -11,6 +11,7 @@
 
 #include "cache/cache_array.hh"
 #include "common/random.hh"
+#include "common/trace_event.hh"
 #include "dram/address_mapping.hh"
 #include "dram/dram_system.hh"
 #include "dram/memory_controller.hh"
@@ -112,6 +113,51 @@ BM_ControllerStream(benchmark::State &state)
     state.counters["reads"] = static_cast<double>(mc.stats().reads);
 }
 BENCHMARK(BM_ControllerStream);
+
+/**
+ * Lifecycle-tracing overhead: BM_ControllerStream with a Tracer
+ * attached (arg 1) vs. detached (arg 0).  Compare the two rows to
+ * read off the per-cycle cost of full request-lifecycle tracing; the
+ * detached row also bounds the "observability compiled in but off"
+ * tax, which must stay at a null-pointer test per call site.
+ */
+void
+BM_TraceOverhead(benchmark::State &state)
+{
+    const bool traced = state.range(0) != 0;
+    DramConfig config = DramConfig::ddrSdram(1);
+    AddressMapping mapping(config);
+    MemoryController mc(config, SchedulerKind::HitFirst);
+    Tracer tracer("/dev/null", /*capacity=*/1u << 20);
+    if (traced)
+        mc.setTracer(&tracer);
+    Rng rng(3);
+    std::vector<DramRequest> completed;
+    Cycle now = 0;
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        ++now;
+        if (mc.canAcceptRead()) {
+            DramRequest req;
+            req.id = id++;
+            req.op = MemOp::Read;
+            req.addr = rng.below(1ULL << 28) & ~63ULL;
+            req.thread = 0;
+            req.arrival = now;
+            req.coord = mapping.map(req.addr);
+            mc.enqueue(req);
+        }
+        completed.clear();
+        mc.tick(now, completed);
+        benchmark::DoNotOptimize(completed.size());
+    }
+    state.SetLabel(traced ? "tracing" : "off");
+    state.counters["events"] =
+        static_cast<double>(tracer.eventCount());
+    state.counters["dropped"] =
+        static_cast<double>(tracer.droppedEvents());
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
 
 /**
  * Soak mode: every scheduler ticked through a request storm with

@@ -7,6 +7,54 @@
 namespace smtdram
 {
 
+namespace
+{
+
+LogSink *g_sink = nullptr;
+LogVerbosity g_verbosity = LogVerbosity::Normal;
+std::function<void()> g_panicHook;
+
+void
+emitWarn(const std::string &msg)
+{
+    if (g_verbosity < LogVerbosity::WarnOnly)
+        return;
+    if (g_sink)
+        g_sink->warnMessage(msg);
+    else
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace
+
+LogSink *
+setLogSink(LogSink *sink)
+{
+    LogSink *prev = g_sink;
+    g_sink = sink;
+    return prev;
+}
+
+LogVerbosity
+setLogVerbosity(LogVerbosity v)
+{
+    LogVerbosity prev = g_verbosity;
+    g_verbosity = v;
+    return prev;
+}
+
+LogVerbosity
+logVerbosity()
+{
+    return g_verbosity;
+}
+
+void
+setPanicHook(std::function<void()> hook)
+{
+    g_panicHook = std::move(hook);
+}
+
 std::string
 vformat(const char *fmt, va_list args)
 {
@@ -29,6 +77,13 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     std::string msg = vformat(fmt, args);
     va_end(args);
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Post-mortem hook (trace flush, stats snapshot) after the message
+    // so the panic reason is on stderr even if the hook dies too.
+    static bool in_panic = false;
+    if (g_panicHook && !in_panic) {
+        in_panic = true;
+        g_panicHook();
+    }
     std::abort();
 }
 
@@ -46,11 +101,13 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
+    if (logVerbosity() < LogVerbosity::WarnOnly)
+        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitWarn(msg);
 }
 
 void
@@ -59,22 +116,28 @@ warnOnceImpl(bool &fired, const char *fmt, ...)
     if (fired)
         return;
     fired = true;
+    if (logVerbosity() < LogVerbosity::WarnOnly)
+        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s (further occurrences suppressed)\n",
-                 msg.c_str());
+    emitWarn(msg + " (further occurrences suppressed)");
 }
 
 void
 informImpl(const char *fmt, ...)
 {
+    if (logVerbosity() < LogVerbosity::Normal)
+        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (g_sink)
+        g_sink->informMessage(msg);
+    else
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 } // namespace smtdram

@@ -14,10 +14,57 @@
 #define SMTDRAM_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 namespace smtdram
 {
+
+/**
+ * Destination for warn()/inform() messages.  The default sink writes
+ * "warn: ..." to stderr and "info: ..." to stdout exactly as the
+ * free functions always have; tests install a capturing sink to
+ * assert on emitted warnings instead of scraping stderr, and benches
+ * could redirect chatter into a log file.  panic()/fatal() always
+ * write stderr directly — death tests and operators must see them
+ * regardless of sink games.
+ */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+    virtual void warnMessage(const std::string &msg) = 0;
+    virtual void informMessage(const std::string &msg) = 0;
+};
+
+/**
+ * Install @p sink as the warn()/inform() destination (not owned);
+ * nullptr restores the stderr/stdout default.  Returns the previous
+ * sink so scoped users can restore it.
+ */
+LogSink *setLogSink(LogSink *sink);
+
+/** How much warn()/inform() traffic gets through. */
+enum class LogVerbosity : std::uint8_t {
+    Quiet = 0,     ///< drop warn() and inform()
+    WarnOnly = 1,  ///< drop inform() only
+    Normal = 2,    ///< everything (default)
+};
+
+/** Set the process-wide verbosity; returns the previous value. */
+LogVerbosity setLogVerbosity(LogVerbosity v);
+LogVerbosity logVerbosity();
+
+/**
+ * Hook run by panic() after printing the message and before
+ * aborting — the seam that turns a wedge death into a post-mortem:
+ * the simulator installs a hook that flushes the trace buffer and
+ * dumps a final stats snapshot.  Single slot; an empty function
+ * clears it.  Re-entrant panics skip the hook so a hook that itself
+ * panics cannot recurse.
+ */
+void setPanicHook(std::function<void()> hook);
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));

@@ -103,6 +103,72 @@ class Histogram
     std::uint64_t total_ = 0;
 };
 
+/**
+ * Log-bucketed histogram with percentile queries.
+ *
+ * Values 0..31 are counted exactly; larger values fall into
+ * power-of-two octaves split into four linear sub-buckets each
+ * (HdrHistogram-style), so relative error is bounded by 1/4 of the
+ * bucket width at any magnitude up to 2^63.  sample() is a handful of
+ * bit operations and one array increment, cheap enough to leave on in
+ * every build — the paper's latency/queue-depth figures are
+ * distribution statements, and count/sum/min/max alone cannot answer
+ * them.
+ */
+class LogHistogram
+{
+  public:
+    LogHistogram();
+
+    /** Record one observation of value @p v. */
+    void sample(std::uint64_t v);
+
+    /** Fold @p other into this histogram (exact union). */
+    void merge(const LogHistogram &other);
+
+    void reset();
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t min() const { return total_ ? min_ : 0; }
+    std::uint64_t max() const { return total_ ? max_ : 0; }
+    double mean() const
+    {
+        return total_ ? static_cast<double>(sum_) / total_ : 0.0;
+    }
+
+    /**
+     * Value at percentile @p p in (0, 100]; linear interpolation
+     * inside the containing bucket, clamped to the observed
+     * [min, max].  Returns 0 on an empty histogram.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(50.0); }
+    double p90() const { return percentile(90.0); }
+    double p99() const { return percentile(99.0); }
+    double p999() const { return percentile(99.9); }
+
+    // --- bucket iteration (for exporters) --------------------------
+    size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(size_t i) const { return counts_[i]; }
+    /** Smallest value mapping to bucket @p i. */
+    static std::uint64_t bucketLowerBound(size_t i);
+
+    /** Bucket index a value falls into (exposed for tests). */
+    static size_t bucketIndex(std::uint64_t v);
+
+  private:
+    static constexpr std::uint64_t kLinearMax = 32;  ///< exact 0..31
+    static constexpr unsigned kSubBuckets = 4;
+    static constexpr unsigned kFirstOctave = 5;      ///< 2^5 == 32
+
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
 /** Hit/miss style ratio counter. */
 class RatioStat
 {

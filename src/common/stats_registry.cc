@@ -1,0 +1,178 @@
+#include "common/stats_registry.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+namespace
+{
+
+/** Render a double as JSON (no NaN/Inf in the grammar). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+StatsRegistry::registerScalar(const std::string &name, ScalarFn fn)
+{
+    for (const auto &n : scalarNames_)
+        panic_if(n == name, "scalar '%s' registered twice", name.c_str());
+    panic_if(!epochCycles_.empty(),
+             "cannot register '%s' after sampling began", name.c_str());
+    scalarNames_.push_back(name);
+    scalarFns_.push_back(std::move(fn));
+}
+
+void
+StatsRegistry::registerHistogram(const std::string &name, HistogramFn fn)
+{
+    for (const auto &n : histNames_)
+        panic_if(n == name, "histogram '%s' registered twice",
+                 name.c_str());
+    histNames_.push_back(name);
+    histFns_.push_back(std::move(fn));
+}
+
+void
+StatsRegistry::setMeta(const std::string &key, const std::string &value)
+{
+    for (auto &kv : meta_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    meta_.emplace_back(key, value);
+}
+
+void
+StatsRegistry::sampleEpoch(Cycle now)
+{
+    if (series_.empty())
+        series_.resize(scalarFns_.size());
+    epochCycles_.push_back(now);
+    for (size_t i = 0; i < scalarFns_.size(); ++i)
+        series_[i].push_back(scalarFns_[i]());
+}
+
+double
+StatsRegistry::value(const std::string &name) const
+{
+    for (size_t i = 0; i < scalarNames_.size(); ++i) {
+        if (scalarNames_[i] == name)
+            return scalarFns_[i]();
+    }
+    panic("no scalar '%s' registered", name.c_str());
+}
+
+void
+StatsRegistry::writeJson(std::ostream &os, Cycle final_cycle) const
+{
+    os << "{\n\"schema\":" << jsonString(kSchemaName)
+       << ",\n\"version\":" << kSchemaVersion << ",\n\"meta\":{";
+    for (size_t i = 0; i < meta_.size(); ++i) {
+        if (i)
+            os << ",";
+        os << jsonString(meta_[i].first) << ":"
+           << jsonString(meta_[i].second);
+    }
+    os << "},\n\"finalCycle\":" << final_cycle << ",\n\"scalars\":{";
+    for (size_t i = 0; i < scalarNames_.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\n" << jsonString(scalarNames_[i]) << ":"
+           << jsonNumber(scalarFns_[i]());
+    }
+    os << "},\n\"histograms\":{";
+    for (size_t i = 0; i < histNames_.size(); ++i) {
+        if (i)
+            os << ",";
+        const LogHistogram h = histFns_[i]();
+        os << "\n" << jsonString(histNames_[i]) << ":{"
+           << "\"count\":" << h.total() << ",\"min\":" << h.min()
+           << ",\"max\":" << h.max()
+           << ",\"mean\":" << jsonNumber(h.mean())
+           << ",\"p50\":" << jsonNumber(h.p50())
+           << ",\"p90\":" << jsonNumber(h.p90())
+           << ",\"p99\":" << jsonNumber(h.p99())
+           << ",\"p999\":" << jsonNumber(h.p999()) << ",\"buckets\":[";
+        bool first = true;
+        for (size_t b = 0; b < h.numBuckets(); ++b) {
+            if (h.bucketCount(b) == 0)
+                continue;
+            if (!first)
+                os << ",";
+            first = false;
+            os << "[" << LogHistogram::bucketLowerBound(b) << ","
+               << h.bucketCount(b) << "]";
+        }
+        os << "]}";
+    }
+    os << "},\n\"epochs\":{\"cycle\":[";
+    for (size_t e = 0; e < epochCycles_.size(); ++e) {
+        if (e)
+            os << ",";
+        os << epochCycles_[e];
+    }
+    os << "],\"series\":{";
+    for (size_t i = 0; i < scalarNames_.size() && !series_.empty();
+         ++i) {
+        if (i)
+            os << ",";
+        os << "\n" << jsonString(scalarNames_[i]) << ":[";
+        for (size_t e = 0; e < series_[i].size(); ++e) {
+            if (e)
+                os << ",";
+            os << jsonNumber(series_[i][e]);
+        }
+        os << "]";
+    }
+    os << "}}\n}\n";
+}
+
+void
+StatsRegistry::writeCsv(std::ostream &os, Cycle final_cycle) const
+{
+    os << "cycle";
+    for (const auto &n : scalarNames_)
+        os << "," << n;
+    os << "\n";
+    for (size_t e = 0; e < epochCycles_.size(); ++e) {
+        os << epochCycles_[e];
+        for (size_t i = 0; i < series_.size(); ++i)
+            os << "," << jsonNumber(series_[i][e]);
+        os << "\n";
+    }
+    os << final_cycle;
+    for (const auto &fn : scalarFns_)
+        os << "," << jsonNumber(fn());
+    os << "\n";
+}
+
+} // namespace smtdram

@@ -1,0 +1,257 @@
+#include "common/trace_event.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+namespace
+{
+
+/** JSON-escape a string (names and args values are plain ASCII, but
+ *  user-supplied paths/labels could contain anything). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer::Tracer(std::string path, size_t capacity)
+    : path_(std::move(path)), capacity_(capacity)
+{
+    panic_if(path_.empty(), "Tracer needs an output path");
+}
+
+Tracer::~Tracer()
+{
+    flush();
+}
+
+void
+Tracer::push(Event e)
+{
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::nameProcess(int pid, const std::string &name)
+{
+    Event e;
+    e.ph = 'M';
+    e.pid = pid;
+    e.name = "process_name";
+    e.args = "{\"name\":\"" + jsonEscape(name) + "\"}";
+    meta_.push_back(std::move(e));
+}
+
+void
+Tracer::nameThread(int pid, int tid, const std::string &name)
+{
+    Event e;
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.name = "thread_name";
+    e.args = "{\"name\":\"" + jsonEscape(name) + "\"}";
+    meta_.push_back(std::move(e));
+}
+
+void
+Tracer::slice(int pid, int tid, const char *name, Cycle ts, Cycle dur,
+              std::string args)
+{
+    Event e;
+    e.ph = 'X';
+    e.pid = pid;
+    e.tid = tid;
+    e.name = name;
+    e.ts = ts;
+    e.dur = dur;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void
+Tracer::instant(int pid, int tid, const char *name, Cycle ts,
+                std::string args)
+{
+    Event e;
+    e.ph = 'i';
+    e.pid = pid;
+    e.tid = tid;
+    e.name = name;
+    e.ts = ts;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void
+Tracer::counter(int pid, const char *name, Cycle ts, double value)
+{
+    Event e;
+    e.ph = 'C';
+    e.pid = pid;
+    e.name = name;
+    e.ts = ts;
+    e.value = value;
+    e.hasValue = true;
+    push(std::move(e));
+}
+
+void
+Tracer::asyncBegin(const char *cat, const char *name, std::uint64_t id,
+                   int pid, Cycle ts, std::string args)
+{
+    Event e;
+    e.ph = 'b';
+    e.cat = cat;
+    e.name = name;
+    e.id = id;
+    e.hasId = true;
+    e.pid = pid;
+    e.ts = ts;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void
+Tracer::asyncStep(const char *cat, const char *name, std::uint64_t id,
+                  int pid, Cycle ts, const char *step)
+{
+    Event e;
+    e.ph = 'n';
+    e.cat = cat;
+    e.name = name;
+    e.id = id;
+    e.hasId = true;
+    e.pid = pid;
+    e.ts = ts;
+    e.step = step;
+    push(std::move(e));
+}
+
+void
+Tracer::asyncEnd(const char *cat, const char *name, std::uint64_t id,
+                 int pid, Cycle ts, std::string args)
+{
+    Event e;
+    e.ph = 'e';
+    e.cat = cat;
+    e.name = name;
+    e.id = id;
+    e.hasId = true;
+    e.pid = pid;
+    e.ts = ts;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void
+Tracer::flush()
+{
+    // Timestamp-sorted output: viewers accept any order, but sorted
+    // events make the file diffable and let tests assert monotonic
+    // timestamps with a linear scan.
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.ts < b.ts;
+                     });
+
+    std::ofstream out(path_);
+    if (!out.good()) {
+        warn("cannot write trace file '%s'", path_.c_str());
+        return;
+    }
+
+    auto write_event = [&out](const Event &e, bool first) {
+        if (!first)
+            out << ",\n";
+        out << "{\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid
+            << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+        out << ",\"name\":\"" << e.name << "\"";
+        if (e.ph == 'X')
+            out << ",\"dur\":" << e.dur;
+        if (e.ph == 'i')
+            out << ",\"s\":\"t\"";
+        if (e.cat)
+            out << ",\"cat\":\"" << e.cat << "\"";
+        if (e.hasId)
+            out << ",\"id\":\"" << e.id << "\"";
+        if (e.hasValue) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%.9g", e.value);
+            out << ",\"args\":{\"value\":" << buf << "}";
+        } else if (e.step) {
+            out << ",\"args\":{\"step\":\"" << e.step << "\"}";
+        } else if (!e.args.empty()) {
+            out << ",\"args\":" << e.args;
+        }
+        out << "}";
+    };
+
+    // One event object per line so tests (and grep) can scan the file
+    // without a full JSON parser.
+    out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    for (const Event &e : meta_) {
+        write_event(e, first);
+        first = false;
+    }
+    for (const Event &e : events_) {
+        write_event(e, first);
+        first = false;
+    }
+    out << "\n]";
+    if (dropped_ > 0)
+        out << ",\"droppedEvents\":" << dropped_;
+    out << "}\n";
+}
+
+std::string
+Tracer::arg(const char *key, std::uint64_t value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"%s\":%llu}", key,
+                  (unsigned long long)value);
+    return buf;
+}
+
+std::string
+Tracer::arg2(const char *k1, std::uint64_t v1, const char *k2,
+             std::uint64_t v2)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "{\"%s\":%llu,\"%s\":%llu}", k1,
+                  (unsigned long long)v1, k2, (unsigned long long)v2);
+    return buf;
+}
+
+} // namespace smtdram

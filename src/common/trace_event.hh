@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto-compatible tracer.
+ *
+ * The Tracer buffers timeline events in memory and writes one JSON
+ * document (the Trace Event Format consumed by chrome://tracing and
+ * ui.perfetto.dev) on flush.  Simulated cycles are recorded as
+ * microseconds, so one trace "us" is one core cycle.
+ *
+ * Track layout convention used by the instrumentation call sites:
+ *   pid kTracePidCpu        "cpu"        tid = hardware thread
+ *   pid tracePidChannel(c)  "dram.ch<c>" tid 0 = request queue,
+ *                                        tid 1 = data bus,
+ *                                        tid 2+b = bank b
+ *
+ * Request lifecycles are async spans keyed by the request id
+ * (ph "b"/"n"/"e"), so overlapping requests render on separate
+ * sub-tracks; command phases (PRE/ACT/CAS/burst/refresh) are complete
+ * slices (ph "X") on the bank and bus tracks; one-off facts (retry,
+ * ECC outcome, fetch stalls) are instants (ph "i").
+ *
+ * Instrumented components hold a `Tracer *` that is null by default:
+ * with tracing off every call site reduces to one branch on a null
+ * pointer, keeping the simulation bit-identical and overhead-free.
+ */
+
+#ifndef SMTDRAM_COMMON_TRACE_EVENT_HH
+#define SMTDRAM_COMMON_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smtdram
+{
+
+/** pid of the CPU-side track group. */
+inline constexpr int kTracePidCpu = 1;
+
+/** pid of DRAM logical channel @p channel's track group. */
+inline constexpr int
+tracePidChannel(std::uint32_t channel)
+{
+    return 16 + static_cast<int>(channel);
+}
+
+/** tids within a channel's track group. */
+inline constexpr int kTraceTidQueue = 0;
+inline constexpr int kTraceTidBus = 1;
+
+inline constexpr int
+traceTidBank(std::uint32_t bank)
+{
+    return 2 + static_cast<int>(bank);
+}
+
+/** Buffered trace-event writer.  Not thread-safe (the sim is serial). */
+class Tracer
+{
+  public:
+    /**
+     * @param path output file written on flush().
+     * @param capacity maximum buffered events; once reached further
+     *        events are dropped (and counted), bounding memory on
+     *        very long runs.
+     */
+    explicit Tracer(std::string path, size_t capacity = 1u << 22);
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    // --- track naming metadata -------------------------------------
+    void nameProcess(int pid, const std::string &name);
+    void nameThread(int pid, int tid, const std::string &name);
+
+    // --- events ----------------------------------------------------
+    /** Complete slice (ph "X"): [ts, ts+dur] on a concrete track. */
+    void slice(int pid, int tid, const char *name, Cycle ts, Cycle dur,
+               std::string args = std::string());
+
+    /** Instant event (ph "i", thread scope). */
+    void instant(int pid, int tid, const char *name, Cycle ts,
+                 std::string args = std::string());
+
+    /** Counter sample (ph "C"); series @p name on track @p pid. */
+    void counter(int pid, const char *name, Cycle ts, double value);
+
+    /** Async span begin / step / end, correlated by (cat, id, pid). */
+    void asyncBegin(const char *cat, const char *name, std::uint64_t id,
+                    int pid, Cycle ts, std::string args = std::string());
+    void asyncStep(const char *cat, const char *name, std::uint64_t id,
+                   int pid, Cycle ts, const char *step);
+    void asyncEnd(const char *cat, const char *name, std::uint64_t id,
+                  int pid, Cycle ts, std::string args = std::string());
+
+    /**
+     * Sort buffered events by timestamp and (re)write the JSON file.
+     * Safe to call more than once — each call rewrites the complete
+     * document, so a panic-path flush mid-run still yields a loadable
+     * trace.
+     */
+    void flush();
+
+    size_t eventCount() const { return events_.size(); }
+    std::uint64_t droppedEvents() const { return dropped_; }
+    const std::string &path() const { return path_; }
+
+    /** Format a one-pair JSON args object, e.g. {"id":7}. */
+    static std::string arg(const char *key, std::uint64_t value);
+    /** Format a two-pair JSON args object. */
+    static std::string arg2(const char *k1, std::uint64_t v1,
+                            const char *k2, std::uint64_t v2);
+
+  private:
+    struct Event {
+        char ph = 'X';          ///< trace-event phase
+        int pid = 0;
+        int tid = 0;
+        Cycle ts = 0;
+        Cycle dur = 0;          ///< "X" only
+        std::uint64_t id = 0;   ///< async phases only
+        bool hasId = false;
+        const char *name = ""; ///< static-storage strings only
+        const char *cat = nullptr;
+        const char *step = nullptr;
+        double value = 0.0;     ///< "C" only
+        bool hasValue = false;
+        std::string args;       ///< preformatted JSON object or empty
+    };
+
+    void push(Event e);
+
+    std::string path_;
+    size_t capacity_;
+    std::vector<Event> meta_;   ///< track-name metadata, emitted first
+    std::vector<Event> events_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_COMMON_TRACE_EVENT_HH

@@ -35,6 +35,9 @@ SmtCore::SmtCore(const CoreConfig &config, Hierarchy &hierarchy)
       intIqOcc_(config.numThreads, 0),
       fpIqOcc_(config.numThreads, 0),
       robOcc_(config.numThreads, 0),
+      robHighWater_(config.numThreads, 0),
+      intIqHighWater_(config.numThreads, 0),
+      fetchStallSince_(config.numThreads, kCycleNever),
       freeIntRegs_(config.intRegs -
                    config.archRegsPerThread * config.numThreads),
       freeFpRegs_(config.fpRegs -
@@ -52,6 +55,31 @@ SmtCore::SmtCore(const CoreConfig &config, Hierarchy &hierarchy)
         });
     hierarchy_.setSnapshotProvider(
         [this](ThreadId tid) { return snapshot(tid); });
+}
+
+void
+SmtCore::resetHighWater()
+{
+    // The marks restart from the live occupancy, not zero: a ROB
+    // that never drains below 100 entries has a high-water of at
+    // least 100 over any window.
+    for (ThreadId tid = 0; tid < config_.numThreads; ++tid) {
+        robHighWater_[tid] = robOcc_[tid];
+        intIqHighWater_[tid] = intIqOcc_[tid];
+    }
+}
+
+void
+SmtCore::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (!tracer_)
+        return;
+    tracer_->nameProcess(kTracePidCpu, "cpu");
+    for (ThreadId tid = 0; tid < config_.numThreads; ++tid) {
+        tracer_->nameThread(kTracePidCpu, tid,
+                            "thread" + std::to_string(tid));
+    }
 }
 
 void
@@ -355,8 +383,12 @@ SmtCore::dispatchStage(Cycle now)
             } else {
                 intIq_.push_back(IqRef{tid, f.seq});
                 ++intIqOcc_[tid];
+                intIqHighWater_[tid] =
+                    std::max(intIqHighWater_[tid], intIqOcc_[tid]);
             }
             ++robOcc_[tid];
+            robHighWater_[tid] =
+                std::max(robHighWater_[tid], robOcc_[tid]);
             ++t.robTail;
             t.fetchQueue.pop_front();
             --budget;
@@ -457,6 +489,29 @@ SmtCore::fetchStage(Cycle now)
             t.fetchQueue.size() + intIqOcc_[tid] + fpIqOcc_[tid]);
         s.pendingDataMisses = hierarchy_.pendingDataMisses(tid);
         s.pendingL2Misses = hierarchy_.pendingL2Misses(tid);
+
+        if (tracer_) {
+            // One async span per window in which this thread cannot
+            // be fetched from, labeled with what gates it.
+            Cycle &since = fetchStallSince_[tid];
+            if (!s.fetchable && since == kCycleNever) {
+                since = now;
+                const char *why =
+                    t.icacheBlocked ? "icache"
+                    : t.awaitingBranch ? "branch"
+                    : now < t.fetchResumeAt ? "redirect"
+                                            : "fetch-queue-full";
+                tracer_->asyncBegin("cpu", "fetch-stall", tid,
+                                    kTracePidCpu, now,
+                                    std::string("{\"reason\":\"") +
+                                        why + "\",\"thread\":" +
+                                        std::to_string(tid) + "}");
+            } else if (s.fetchable && since != kCycleNever) {
+                tracer_->asyncEnd("cpu", "fetch-stall", tid,
+                                  kTracePidCpu, now);
+                since = kCycleNever;
+            }
+        }
     }
 
     const std::vector<ThreadId> order =

@@ -31,6 +31,7 @@
 
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
+#include "common/trace_event.hh"
 #include "common/types.hh"
 #include "cpu/branch_predictor.hh"
 #include "cpu/cpu_config.hh"
@@ -92,6 +93,29 @@ class SmtCore
     }
 
     std::uint64_t cyclesRun() const { return cyclesRun_; }
+
+    /** Largest ROB occupancy @p tid ever reached. */
+    std::uint32_t robHighWater(ThreadId tid) const
+    {
+        return robHighWater_[tid];
+    }
+
+    /** Largest integer-IQ occupancy @p tid ever reached. */
+    std::uint32_t intIqHighWater(ThreadId tid) const
+    {
+        return intIqHighWater_[tid];
+    }
+
+    /** Reset the high-water marks (measurement boundary). */
+    void resetHighWater();
+
+    /**
+     * Attach a tracer (not owned; nullptr detaches): emits one async
+     * span per thread covering every window in which fetch cannot
+     * take that thread (I-cache miss, unresolved mispredict, redirect
+     * penalty, full fetch queue).
+     */
+    void setTracer(Tracer *tracer);
 
   private:
     // ------------------------------------------------------------------
@@ -224,6 +248,14 @@ class SmtCore
     std::uint64_t dispatchRotation_ = 0;
     std::uint64_t cyclesRun_ = 0;
     std::uint64_t intIssueActiveCycles_ = 0;
+
+    std::vector<std::uint32_t> robHighWater_;
+    std::vector<std::uint32_t> intIqHighWater_;
+
+    Tracer *tracer_ = nullptr;
+    /** Cycle each thread's current fetch-stall span opened, or
+     *  kCycleNever when the thread is fetchable (trace-only state). */
+    std::vector<Cycle> fetchStallSince_;
 };
 
 } // namespace smtdram

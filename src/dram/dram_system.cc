@@ -157,6 +157,9 @@ DramSystem::tick(Cycle now)
             panic_if(perThreadOutstanding_[req.thread] == 0,
                      "per-thread outstanding underflow");
             --perThreadOutstanding_[req.thread];
+            if (req.thread >= perThreadReads_.size())
+                perThreadReads_.resize(req.thread + 1, 0);
+            ++perThreadReads_[req.thread];
         }
         if (readCallback_)
             readCallback_(req);
@@ -214,6 +217,14 @@ DramSystem::channelStats(std::uint32_t channel) const
     return controllers_[channel].stats();
 }
 
+size_t
+DramSystem::channelQueuedReads(std::uint32_t channel) const
+{
+    panic_if(channel >= controllers_.size(), "channel %u out of range",
+             channel);
+    return controllers_[channel].queuedReads();
+}
+
 ControllerStats
 DramSystem::aggregateStats() const
 {
@@ -234,6 +245,9 @@ DramSystem::aggregateStats() const
         agg.correctedErrors += s.correctedErrors;
         agg.uncorrectableErrors += s.uncorrectableErrors;
         agg.eccCheckCycles += s.eccCheckCycles;
+        agg.readLatencyHist.merge(s.readLatencyHist);
+        agg.queueDepthHist.merge(s.queueDepthHist);
+        agg.rowHitRunHist.merge(s.rowHitRunHist);
         // Merge the latency distributions sample-count-weighted.
         // Distribution has no merge; rebuild from moments.
         // (count/sum/min/max are sufficient for what we report.)
@@ -276,6 +290,14 @@ DramSystem::resetStats()
 {
     for (auto &mc : controllers_)
         mc.resetStats();
+    std::fill(perThreadReads_.begin(), perThreadReads_.end(), 0);
+}
+
+void
+DramSystem::setTracer(Tracer *tracer)
+{
+    for (auto &mc : controllers_)
+        mc.setTracer(tracer);
 }
 
 void

@@ -76,6 +76,9 @@ class DramSystem
 
     const ControllerStats &channelStats(std::uint32_t channel) const;
 
+    /** Live demand-read queue depth on one channel. */
+    size_t channelQueuedReads(std::uint32_t channel) const;
+
     /** Sum of all per-channel stats. */
     ControllerStats aggregateStats() const;
 
@@ -83,6 +86,19 @@ class DramSystem
     FaultStats aggregateFaultStats() const;
 
     void resetStats();
+
+    /**
+     * Attach a lifecycle tracer (not owned; nullptr detaches) and
+     * announce the per-channel/per-bank track names.
+     */
+    void setTracer(Tracer *tracer);
+
+    /** Demand reads delivered per thread id (bandwidth shares). */
+    const std::vector<std::uint64_t> &
+    perThreadReads() const
+    {
+        return perThreadReads_;
+    }
 
     /** Shadow checker, or nullptr when config.checkerEnabled is off. */
     const ConservationChecker *checker() const { return checker_.get(); }
@@ -112,6 +128,7 @@ class DramSystem
     ReadCallback readCallback_;
     std::uint64_t nextId_ = 1;
     std::vector<std::uint32_t> perThreadOutstanding_;
+    std::vector<std::uint64_t> perThreadReads_;
     std::vector<DramRequest> completedScratch_;
     std::unique_ptr<ConservationChecker> checker_;
     Cycle lastAgeCheck_ = 0;

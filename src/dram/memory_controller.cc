@@ -15,6 +15,20 @@ namespace smtdram
  */
 static constexpr Cycle kScrubEscalationIntervals = 8;
 
+namespace
+{
+
+/** Static-storage lifecycle-span name for a request. */
+const char *
+requestTraceName(const DramRequest &req)
+{
+    if (req.scrub)
+        return "scrub";
+    return req.op == MemOp::Read ? "read" : "write";
+}
+
+} // namespace
+
 MemoryController::MemoryController(const DramConfig &config,
                                    SchedulerKind scheduler,
                                    std::uint32_t channel)
@@ -23,6 +37,7 @@ MemoryController::MemoryController(const DramConfig &config,
       scheduler_(makeScheduler(scheduler)),
       injector_(config.faults, config.ecc, channel),
       banks_(config.banksPerChannel()),
+      hitRun_(config.banksPerChannel(), 0),
       // A new transaction's data phase starts after its bank-access
       // sequence, so booking the bus up to (worst access latency +
       // two bursts) ahead still lets banks overlap while keeping
@@ -42,11 +57,41 @@ MemoryController::MemoryController(const DramConfig &config,
 }
 
 void
+MemoryController::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (!tracer_)
+        return;
+    const int pid = tracePidChannel(channel_);
+    tracer_->nameProcess(pid, "dram.ch" + std::to_string(channel_));
+    tracer_->nameThread(pid, kTraceTidQueue, "queue");
+    tracer_->nameThread(pid, kTraceTidBus, "bus");
+    for (size_t b = 0; b < banks_.size(); ++b) {
+        tracer_->nameThread(pid,
+                            traceTidBank(static_cast<std::uint32_t>(b)),
+                            "bank" + std::to_string(b));
+    }
+}
+
+void
 MemoryController::enqueue(DramRequest req)
 {
     panic_if(req.coord.bank >= banks_.size(),
              "bank %u out of range (%zu banks)", req.coord.bank,
              banks_.size());
+    if (req.op == MemOp::Read && !req.scrub && req.retries == 0)
+        stats_.queueDepthHist.sample(readQueue_.size());
+    if (tracer_ && req.retries == 0) {
+        // Retried requests re-enter the queue inside an already-open
+        // span; only the first enqueue begins the lifecycle.
+        tracer_->asyncBegin(
+            "dram", requestTraceName(req), req.id,
+            tracePidChannel(channel_), req.arrival,
+            Tracer::arg2("bank", req.coord.bank, "thread",
+                         req.thread == kThreadNone
+                             ? ~std::uint64_t{0}
+                             : req.thread));
+    }
     if (injector_.active()) {
         // A command-path glitch delays when the request may issue,
         // not when it occupies queue space.
@@ -195,6 +240,16 @@ MemoryController::launch(DramRequest req, Cycle now)
         ++stats_.rowConflicts;
     }
 
+    // Row-locality run lengths: a miss ends the bank's current run.
+    std::uint32_t &run = hitRun_[req.coord.bank];
+    if (hit) {
+        ++run;
+    } else {
+        if (run > 0)
+            stats_.rowHitRunHist.sample(run);
+        run = 0;
+    }
+
     // With ECC the burst also moves the check bits.
     const Cycle transfer = config_.burstCycles();
     const Cycle data_ready = now + access_lat;
@@ -220,6 +275,28 @@ MemoryController::launch(DramRequest req, Cycle now)
     req.bankWasIdle = idle;
     req.completion = data_end + t.controllerOverhead;
 
+    if (tracer_) {
+        const int pid = tracePidChannel(channel_);
+        const int bank_tid = traceTidBank(req.coord.bank);
+        const char *name = requestTraceName(req);
+        tracer_->asyncStep("dram", name, req.id, pid, now, "sched");
+        Cycle at = now;
+        if (!hit && !idle) {
+            tracer_->slice(pid, bank_tid, "PRE", at, t.precharge,
+                           Tracer::arg("id", req.id));
+            at += t.precharge;
+        }
+        if (!hit) {
+            tracer_->slice(pid, bank_tid, "ACT", at, t.rowAccess,
+                           Tracer::arg("id", req.id));
+            at += t.rowAccess;
+        }
+        tracer_->slice(pid, bank_tid, "CAS", at, t.columnAccess,
+                       Tracer::arg("id", req.id));
+        tracer_->slice(pid, kTraceTidBus, "burst", data_start,
+                       transfer, Tracer::arg("id", req.id));
+    }
+
     if (req.scrub) {
         // Background maintenance: counted apart from demand so the
         // paper's reads/latency stats keep their meaning.
@@ -229,6 +306,7 @@ MemoryController::launch(DramRequest req, Cycle now)
         stats_.readQueueing.sample(static_cast<double>(now - req.arrival));
         stats_.readLatency.sample(
             static_cast<double>(req.completion - req.arrival));
+        stats_.readLatencyHist.sample(req.completion - req.arrival);
     } else {
         ++stats_.writes;
     }
@@ -260,6 +338,13 @@ MemoryController::serviceRefresh(Cycle now)
         }
         bank.openRow = Bank::kNoRow;  // refresh implies precharge
         bank.readyAt = now + duration;
+        if (tracer_) {
+            tracer_->slice(
+                tracePidChannel(channel_),
+                traceTidBank(static_cast<std::uint32_t>(
+                    &bank - banks_.data())),
+                "refresh", now, duration);
+        }
         // Catch up without scheduling a burst of back-to-back
         // refreshes if the bank was blocked for several intervals.
         bank.nextRefreshAt += interval;
@@ -297,6 +382,12 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
                     config_.faults.retryBackoff
                     << std::min<std::uint32_t>(req.retries - 1, 16);
                 req.notBefore = now + backoff;
+                if (tracer_) {
+                    tracer_->instant(tracePidChannel(channel_),
+                                     kTraceTidQueue, "fault-retry", now,
+                                     Tracer::arg2("id", req.id, "retry",
+                                                  req.retries));
+                }
                 (req.scrub ? scrubQueue_ : readQueue_).push_back(req);
                 continue;
             }
@@ -330,6 +421,23 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
               case EccOutcome::Clean:
                 break;
             }
+        }
+        if (tracer_) {
+            const int pid = tracePidChannel(channel_);
+            if (req.corrected) {
+                tracer_->instant(pid, kTraceTidQueue, "ecc-corrected",
+                                 req.completion,
+                                 Tracer::arg("id", req.id));
+            }
+            if (req.poisoned) {
+                tracer_->instant(pid, kTraceTidQueue, "ecc-poisoned",
+                                 req.completion,
+                                 Tracer::arg("id", req.id));
+            }
+            // The terminal lifecycle event: every begun span ends
+            // exactly once, here, whatever path the request took.
+            tracer_->asyncEnd("dram", requestTraceName(req), req.id,
+                              pid, req.completion);
         }
         completed.push_back(std::move(req));
     }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace_event.hh"
 #include "dram/bank.hh"
 #include "dram/dram_config.hh"
 #include "dram/dram_types.hh"
@@ -69,6 +70,16 @@ struct ControllerStats {
     std::uint64_t uncorrectableErrors = 0;
     /** Extra data-bus cycles spent moving SECDED check bits. */
     std::uint64_t eccCheckCycles = 0;
+
+    // --- Distribution views (Figures 4-10 are distribution claims;
+    //     count/sum/min/max alone cannot answer them) ---
+    /** Read latency (arrival to data return) with percentiles. */
+    LogHistogram readLatencyHist;
+    /** Read-queue depth observed at each enqueue. */
+    LogHistogram queueDepthHist;
+    /** Consecutive row-buffer hits per bank before a miss ends the
+     *  run (locality the schedulers and mappings compete over). */
+    LogHistogram rowHitRunHist;
 
     /** Paper's row-buffer miss rate: misses / all accesses. */
     double
@@ -139,6 +150,13 @@ class MemoryController
     const FaultStats &faultStats() const { return injector_.stats(); }
 
     /**
+     * Attach a request-lifecycle tracer (not owned; nullptr detaches).
+     * With no tracer every instrumentation site is one branch on a
+     * null pointer, so default runs stay bit-identical.
+     */
+    void setTracer(Tracer *tracer);
+
+    /**
      * Write a human-readable snapshot of all controller state (bus,
      * banks, queues, in-flight transactions) — the payload of the
      * watchdog/checker diagnostics on a stuck simulation.
@@ -189,7 +207,10 @@ class MemoryController
     std::uint32_t channel_;
     std::unique_ptr<Scheduler> scheduler_;
     FaultInjector injector_;
+    Tracer *tracer_ = nullptr;
     std::vector<Bank> banks_;
+    /** Per-bank consecutive row-hit run in progress. */
+    std::vector<std::uint32_t> hitRun_;
     Cycle busFreeAt_ = 0;
     /** Don't book the bus further ahead than this; keeps scheduling
      *  decisions late so newly arrived hits can still win. */

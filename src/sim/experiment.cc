@@ -96,6 +96,9 @@ ExperimentContext::aloneIpcOn(const std::string &app,
 
     SystemConfig alone = config;
     alone.core.numThreads = 1;
+    // Baseline runs share the mix's config but must not clobber its
+    // observability outputs (same file paths) — run them dark.
+    alone.observe = ObservabilityConfig{};
     SmtSystem system(alone, {specProfile(app)}, seed_);
     const RunResult r = system.run(measureInsts_, warmupInsts_);
     const double ipc = r.ipc.at(0);
@@ -120,6 +123,12 @@ ExperimentContext::runMix(const SystemConfig &config,
     out.uncorrectableErrors = out.run.dram.uncorrectableErrors;
     out.scrubReads = out.run.dram.scrubReads;
     out.retriesExhausted = out.run.dram.retriesExhausted;
+    if (out.run.dram.readLatencyHist.total() > 0) {
+        out.readLatencyP50 = static_cast<std::uint64_t>(
+            out.run.dram.readLatencyHist.p50());
+        out.readLatencyP99 = static_cast<std::uint64_t>(
+            out.run.dram.readLatencyHist.p99());
+    }
     for (size_t i = 0; i < mix.apps.size(); ++i) {
         const double alone =
             per_config_baselines ? aloneIpcOn(mix.apps[i], config)
@@ -141,7 +150,8 @@ ExperimentContext::runMix(const std::string &mix_name)
 CpiBreakdown
 measureCpiBreakdown(const std::string &app,
                     std::uint64_t measure_insts,
-                    std::uint64_t warmup_insts, std::uint64_t seed)
+                    std::uint64_t warmup_insts, std::uint64_t seed,
+                    const ObservabilityConfig &observe)
 {
     auto cpi_on = [&](bool inf_l1, bool inf_l2, bool inf_l3) {
         SystemConfig config = SystemConfig::paperDefault(1);
@@ -149,6 +159,8 @@ measureCpiBreakdown(const std::string &app,
         config.hierarchy.l1d.infinite = inf_l1;
         config.hierarchy.l2.infinite = inf_l2;
         config.hierarchy.l3.infinite = inf_l3;
+        if (!inf_l1 && !inf_l2 && !inf_l3)
+            config.observe = observe;
         SmtSystem system(config, {specProfile(app)}, seed);
         const RunResult r = system.run(measure_insts, warmup_insts);
         return 1.0 / r.ipc.at(0);

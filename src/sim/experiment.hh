@@ -36,6 +36,11 @@ struct MixRun {
     std::uint64_t scrubReads = 0;
     /** Reads whose fault-injection retry budget ran out. */
     std::uint64_t retriesExhausted = 0;
+
+    // --- Latency-distribution summary (from the always-on log
+    //     histogram; means alone hide queueing-tail differences) ---
+    std::uint64_t readLatencyP50 = 0;
+    std::uint64_t readLatencyP99 = 0;
 };
 
 /**
@@ -100,12 +105,14 @@ struct CpiBreakdown {
 
 /**
  * Measure the four-system CPI breakdown of one application running
- * alone (Figure 1).
+ * alone (Figure 1).  @p observe applies to the real-machine run only;
+ * the three infinite-cache reference runs stay dark so they don't
+ * overwrite its outputs.
  */
-CpiBreakdown measureCpiBreakdown(const std::string &app,
-                                 std::uint64_t measure_insts,
-                                 std::uint64_t warmup_insts,
-                                 std::uint64_t seed);
+CpiBreakdown measureCpiBreakdown(
+    const std::string &app, std::uint64_t measure_insts,
+    std::uint64_t warmup_insts, std::uint64_t seed,
+    const ObservabilityConfig &observe = {});
 
 /** Build per-thread profiles for a mix. */
 std::vector<AppProfile> profilesForMix(const WorkloadMix &mix);

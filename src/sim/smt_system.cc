@@ -1,11 +1,14 @@
 #include "sim/smt_system.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <ostream>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/watchdog.hh"
+#include "sim/experiment.hh"
 
 namespace smtdram
 {
@@ -33,7 +36,174 @@ SmtSystem::SmtSystem(const SystemConfig &config,
                           streams_.back().get());
     }
 
+    if (config_.observe.traceEnabled()) {
+        tracer_ = std::make_unique<Tracer>(config_.observe.tracePath);
+        dram_->setTracer(tracer_.get());
+        core_->setTracer(tracer_.get());
+    }
+    if (config_.observe.statsEnabled()) {
+        registry_ = std::make_unique<StatsRegistry>();
+        registerStats();
+    }
+    if (config_.observe.any()) {
+        // panic()/watchdog post-mortem: flush whatever observability
+        // outputs are configured before the process dies.
+        setPanicHook([this] { exportObservability(); });
+        panicHookSet_ = true;
+    }
+
     prewarmCaches(apps);
+}
+
+SmtSystem::~SmtSystem()
+{
+    if (panicHookSet_)
+        setPanicHook({});
+    if (tracer_) {
+        dram_->setTracer(nullptr);
+        core_->setTracer(nullptr);
+    }
+}
+
+void
+SmtSystem::registerStats()
+{
+    StatsRegistry &r = *registry_;
+    r.setMeta("config", configSignature(config_));
+    r.setMeta("threads", std::to_string(config_.core.numThreads));
+    r.setMeta("channels", std::to_string(dram_->channels()));
+
+    // DRAM aggregate counters.  Each provider re-aggregates on call;
+    // epochs are sparse so the cost is irrelevant.
+    r.registerScalar("dram.reads", [this] {
+        return static_cast<double>(dram_->aggregateStats().reads);
+    });
+    r.registerScalar("dram.writes", [this] {
+        return static_cast<double>(dram_->aggregateStats().writes);
+    });
+    r.registerScalar("dram.row_hits", [this] {
+        return static_cast<double>(dram_->aggregateStats().rowHits);
+    });
+    r.registerScalar("dram.row_conflicts", [this] {
+        return static_cast<double>(
+            dram_->aggregateStats().rowConflicts);
+    });
+    r.registerScalar("dram.row_miss_rate", [this] {
+        return dram_->aggregateStats().rowMissRate();
+    });
+    r.registerScalar("dram.refreshes", [this] {
+        return static_cast<double>(dram_->aggregateStats().refreshes);
+    });
+    r.registerScalar("dram.outstanding", [this] {
+        return static_cast<double>(dram_->outstandingRequests());
+    });
+    for (std::uint32_t c = 0; c < dram_->channels(); ++c) {
+        r.registerScalar(
+            "dram.ch" + std::to_string(c) + ".queued_reads",
+            [this, c] {
+                return static_cast<double>(
+                    dram_->channelQueuedReads(c));
+            });
+        r.registerScalar(
+            "dram.ch" + std::to_string(c) + ".reads", [this, c] {
+                return static_cast<double>(
+                    dram_->channelStats(c).reads);
+            });
+    }
+
+    // Per-thread CPU counters.
+    for (std::uint32_t t = 0; t < config_.core.numThreads; ++t) {
+        const std::string p = "cpu.t" + std::to_string(t) + ".";
+        const auto tid = static_cast<ThreadId>(t);
+        r.registerScalar(p + "committed", [this, tid] {
+            return static_cast<double>(
+                core_->perf(tid).committedInsts);
+        });
+        r.registerScalar(p + "rob_occupancy", [this, tid] {
+            return static_cast<double>(core_->robOccupancy(tid));
+        });
+        r.registerScalar(p + "rob_high_water", [this, tid] {
+            return static_cast<double>(core_->robHighWater(tid));
+        });
+        r.registerScalar(p + "iq_high_water", [this, tid] {
+            return static_cast<double>(core_->intIqHighWater(tid));
+        });
+        r.registerScalar(p + "dram_reads", [this, tid] {
+            const auto &reads = dram_->perThreadReads();
+            return tid < reads.size()
+                       ? static_cast<double>(reads[tid])
+                       : 0.0;
+        });
+    }
+
+    // Distribution views.
+    r.registerHistogram("dram.read_latency", [this] {
+        return dram_->aggregateStats().readLatencyHist;
+    });
+    r.registerHistogram("dram.read_queue_depth", [this] {
+        return dram_->aggregateStats().queueDepthHist;
+    });
+    r.registerHistogram("dram.row_hit_run", [this] {
+        return dram_->aggregateStats().rowHitRunHist;
+    });
+    r.registerHistogram("dram.bandwidth_share_pct", [this] {
+        LogHistogram h;
+        const auto &reads = dram_->perThreadReads();
+        std::uint64_t total = 0;
+        for (auto v : reads)
+            total += v;
+        if (total > 0) {
+            for (auto v : reads)
+                h.sample(100 * v / total);
+        }
+        return h;
+    });
+}
+
+void
+SmtSystem::sampleEpoch()
+{
+    if (registry_)
+        registry_->sampleEpoch(now_);
+    if (tracer_) {
+        // Counter tracks: live queue depth per channel, ROB occupancy
+        // per thread — render as stacked area charts in Perfetto.
+        for (std::uint32_t c = 0; c < dram_->channels(); ++c) {
+            tracer_->counter(
+                tracePidChannel(c), "queued_reads", now_,
+                static_cast<double>(dram_->channelQueuedReads(c)));
+        }
+        double rob_total = 0.0;
+        for (std::uint32_t t = 0; t < config_.core.numThreads; ++t)
+            rob_total += core_->robOccupancy(static_cast<ThreadId>(t));
+        tracer_->counter(kTracePidCpu, "rob_occupancy", now_,
+                         rob_total);
+    }
+}
+
+void
+SmtSystem::exportObservability()
+{
+    if (registry_) {
+        if (!config_.observe.statsJsonPath.empty()) {
+            std::ofstream os(config_.observe.statsJsonPath);
+            if (os)
+                registry_->writeJson(os, now_);
+            else
+                warn("cannot write stats JSON to %s",
+                     config_.observe.statsJsonPath.c_str());
+        }
+        if (!config_.observe.statsCsvPath.empty()) {
+            std::ofstream os(config_.observe.statsCsvPath);
+            if (os)
+                registry_->writeCsv(os, now_);
+            else
+                warn("cannot write stats CSV to %s",
+                     config_.observe.statsCsvPath.c_str());
+        }
+    }
+    if (tracer_)
+        tracer_->flush();
 }
 
 void
@@ -156,6 +326,8 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     // ---- Reset statistics at the measurement boundary ----
     hierarchy_->resetStats();
     dram_->resetStats();
+    core_->resetHighWater();
+    lastEpochAt_ = now_;
 
     std::vector<std::uint64_t> base(n);
     std::uint64_t base_mispredicts = 0;
@@ -176,6 +348,13 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     // ---- Measured phase ----
     while (!all_committed(measure_insts, base)) {
         stepCycle();
+
+        // Observability epoch boundary (off unless epoch > 0).
+        if (config_.observe.epoch > 0 &&
+            now_ - lastEpochAt_ >= config_.observe.epoch) {
+            lastEpochAt_ = now_;
+            sampleEpoch();
+        }
 
         // Figures 4 and 5: sample while the DRAM system is busy.
         if (dram_->busy()) {
@@ -239,6 +418,16 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     res.branchMispredictRate =
         branches ? static_cast<double>(mispredicts) / branches : 0.0;
 
+    res.perThreadReads = dram_->perThreadReads();
+    std::uint64_t reads_total = 0;
+    for (auto v : res.perThreadReads)
+        reads_total += v;
+    if (reads_total > 0) {
+        for (auto v : res.perThreadReads)
+            res.bandwidthShareHist.sample(100 * v / reads_total);
+    }
+
+    exportObservability();
     return res;
 }
 

@@ -15,6 +15,8 @@
 
 #include "common/event_queue.hh"
 #include "common/stats.hh"
+#include "common/stats_registry.hh"
+#include "common/trace_event.hh"
 #include "cpu/smt_core.hh"
 #include "sim/system_config.hh"
 #include "workload/spec2000.hh"
@@ -42,6 +44,13 @@ struct RunResult {
     /** Fraction of cycles issuing at least one integer instruction. */
     double intIssueActiveFrac = 0.0;
     double branchMispredictRate = 0.0;
+
+    // --- Observability-layer distribution views ---
+    /** Demand reads delivered per thread over the window. */
+    std::vector<std::uint64_t> perThreadReads;
+    /** Per-thread DRAM bandwidth share, in percent (one sample per
+     *  thread); p-queries answer "how skewed was service?". */
+    LogHistogram bandwidthShareHist;
 };
 
 /** One simulated machine executing a set of application profiles. */
@@ -56,6 +65,7 @@ class SmtSystem
      */
     SmtSystem(const SystemConfig &config,
               const std::vector<AppProfile> &apps, std::uint64_t seed);
+    ~SmtSystem();
 
     /**
      * Warm up (unmeasured) then measure.
@@ -81,9 +91,30 @@ class SmtSystem
      */
     void dumpState(std::ostream &os) const;
 
+    /** Stats registry, or nullptr when no stats output is configured. */
+    const StatsRegistry *statsRegistry() const { return registry_.get(); }
+
+    /** Lifecycle tracer, or nullptr when tracing is off. */
+    Tracer *tracer() { return tracer_.get(); }
+
+    /**
+     * Write whatever observability outputs are configured (stats
+     * JSON/CSV, trace file) reflecting the machine's current state.
+     * Runs automatically at the end of run() and — through the panic
+     * hook — when the watchdog or an invariant kills the process, so
+     * a wedge leaves a post-mortem instead of nothing.
+     */
+    void exportObservability();
+
   private:
     /** Advance the machine one cycle. */
     void stepCycle();
+
+    /** Register every component's stats into registry_. */
+    void registerStats();
+
+    /** Epoch boundary: sample the registry and emit trace counters. */
+    void sampleEpoch();
 
     /** Structural cache warm-up (see .cc for the methodology). */
     void prewarmCaches(const std::vector<AppProfile> &apps);
@@ -95,6 +126,11 @@ class SmtSystem
     std::unique_ptr<SmtCore> core_;
     std::vector<std::unique_ptr<SyntheticStream>> streams_;
     Cycle now_ = 0;
+
+    std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<StatsRegistry> registry_;
+    Cycle lastEpochAt_ = 0;
+    bool panicHookSet_ = false;
 };
 
 } // namespace smtdram

@@ -7,6 +7,8 @@
 #ifndef SMTDRAM_SIM_SYSTEM_CONFIG_HH
 #define SMTDRAM_SIM_SYSTEM_CONFIG_HH
 
+#include <string>
+
 #include "cache/cache_config.hh"
 #include "cpu/cpu_config.hh"
 #include "dram/dram_config.hh"
@@ -15,12 +17,48 @@
 namespace smtdram
 {
 
+/**
+ * Observation outputs of one run — trace, stats documents, epoch
+ * sampling.  Everything defaults off; none of it affects simulated
+ * timing, so it is deliberately excluded from configSignature() and
+ * the golden figures are bit-identical whatever is set here.
+ */
+struct ObservabilityConfig {
+    /** Chrome trace-event / Perfetto JSON output path; "" = off. */
+    std::string tracePath;
+    /** Schema-versioned stats JSON output path; "" = off. */
+    std::string statsJsonPath;
+    /** Epoch time-series CSV output path; "" = off. */
+    std::string statsCsvPath;
+    /** Cycles between stats time-series samples; 0 = final only. */
+    Cycle epoch = 0;
+
+    bool
+    traceEnabled() const
+    {
+        return !tracePath.empty();
+    }
+
+    bool
+    statsEnabled() const
+    {
+        return !statsJsonPath.empty() || !statsCsvPath.empty();
+    }
+
+    bool
+    any() const
+    {
+        return traceEnabled() || statsEnabled();
+    }
+};
+
 /** Everything needed to instantiate one simulated machine. */
 struct SystemConfig {
     CoreConfig core;
     HierarchyConfig hierarchy;
     DramConfig dram = DramConfig::ddrSdram(2);
     SchedulerKind scheduler = SchedulerKind::HitFirst;
+    ObservabilityConfig observe;
     /**
      * Forward-progress watchdog: every thread must commit something
      * within this many cycles or the run aborts with a state dump

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the StatsRegistry: registration rules, epoch sampling,
+ * and the schema-versioned JSON / CSV exports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "common/stats_registry.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+TEST(StatsRegistry, ScalarProvidersAreLive)
+{
+    StatsRegistry r;
+    double x = 1.0;
+    r.registerScalar("x", [&x] { return x; });
+    EXPECT_DOUBLE_EQ(r.value("x"), 1.0);
+    x = 7.0;
+    EXPECT_DOUBLE_EQ(r.value("x"), 7.0);
+}
+
+TEST(StatsRegistry, EpochSeriesRecordsEachSample)
+{
+    StatsRegistry r;
+    double x = 0.0;
+    r.registerScalar("x", [&x] { return x; });
+    for (Cycle c = 100; c <= 300; c += 100) {
+        x = static_cast<double>(c) / 10.0;
+        r.sampleEpoch(c);
+    }
+    EXPECT_EQ(r.epochs(), 3u);
+
+    std::ostringstream csv;
+    r.writeCsv(csv, 400);
+    const std::string doc = csv.str();
+    EXPECT_EQ(doc.find("cycle,x\n"), 0u);
+    EXPECT_NE(doc.find("\n100,10"), std::string::npos);
+    EXPECT_NE(doc.find("\n300,30"), std::string::npos);
+    // Terminal row carries the final snapshot at the run-end cycle.
+    EXPECT_NE(doc.find("\n400,30"), std::string::npos);
+}
+
+TEST(StatsRegistry, JsonDocumentCarriesSchemaAndContent)
+{
+    StatsRegistry r;
+    r.setMeta("config", "test-config");
+    r.registerScalar("dram.reads", [] { return 42.0; });
+    r.registerHistogram("lat", [] {
+        LogHistogram h;
+        for (std::uint64_t v = 1; v <= 100; ++v)
+            h.sample(v);
+        return h;
+    });
+    r.sampleEpoch(1000);
+
+    std::ostringstream os;
+    r.writeJson(os, 2000);
+    const std::string doc = os.str();
+
+    EXPECT_NE(doc.find("\"schema\":\"smtdram-stats\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(doc.find("\"config\":\"test-config\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"finalCycle\":2000"), std::string::npos);
+    EXPECT_NE(doc.find("\"dram.reads\":42"), std::string::npos);
+    EXPECT_NE(doc.find("\"lat\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"count\":100"), std::string::npos);
+    EXPECT_NE(doc.find("\"p50\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"buckets\":[["), std::string::npos);
+    EXPECT_NE(doc.find("\"epochs\":"), std::string::npos);
+
+    // Structural sanity chrome-side tooling relies on.
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+              std::count(doc.begin(), doc.end(), '}'));
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+              std::count(doc.begin(), doc.end(), ']'));
+}
+
+TEST(StatsRegistryDeath, DuplicateNamePanics)
+{
+    StatsRegistry r;
+    r.registerScalar("dup", [] { return 0.0; });
+    EXPECT_DEATH(r.registerScalar("dup", [] { return 1.0; }), "dup");
+}
+
+TEST(StatsRegistryDeath, RegistrationAfterSamplingPanics)
+{
+    StatsRegistry r;
+    r.registerScalar("a", [] { return 0.0; });
+    r.sampleEpoch(10);
+    EXPECT_DEATH(r.registerScalar("late", [] { return 0.0; }),
+                 "late");
+}
+
+} // namespace
+} // namespace smtdram

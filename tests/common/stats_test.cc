@@ -138,6 +138,127 @@ TEST(Histogram, ResetClears)
     EXPECT_EQ(h.bucketCount(0), 0u);
 }
 
+TEST(LogHistogram, EmptyIsZero)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p999(), 0.0);
+}
+
+TEST(LogHistogram, SmallValuesAreExact)
+{
+    // 0..31 get one bucket each, so small-value percentiles are
+    // exact integer-rank statistics, no interpolation error.
+    LogHistogram h;
+    for (std::uint64_t v = 1; v <= 10; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+    EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+    EXPECT_DOUBLE_EQ(h.p90(), 9.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(LogHistogram, BucketIndexRoundTrips)
+{
+    // bucketLowerBound(bucketIndex(v)) <= v for all v, and the lower
+    // bound itself maps back into the same bucket.
+    for (std::uint64_t v :
+         {0ull, 1ull, 31ull, 32ull, 33ull, 63ull, 64ull, 100ull,
+          1000ull, 65535ull, 1ull << 20, (1ull << 40) + 12345}) {
+        const size_t i = LogHistogram::bucketIndex(v);
+        EXPECT_LE(LogHistogram::bucketLowerBound(i), v);
+        EXPECT_EQ(LogHistogram::bucketIndex(
+                      LogHistogram::bucketLowerBound(i)),
+                  i);
+        if (i + 1 < LogHistogram().numBuckets())
+            EXPECT_GT(LogHistogram::bucketLowerBound(i + 1), v);
+    }
+}
+
+TEST(LogHistogram, PercentilesBracketedAndClamped)
+{
+    // Large values land in ~12.5%-wide log buckets; percentile()
+    // interpolates inside the bucket, so the answer must stay inside
+    // it and inside the observed [min, max].
+    LogHistogram h;
+    for (std::uint64_t v = 100; v < 1100; ++v)
+        h.sample(v);
+    const double p50 = h.p50();
+    const double p99 = h.p99();
+    EXPECT_GE(p50, 100.0);
+    EXPECT_LE(p50, 1099.0);
+    // True p50 is ~600; one sub-bucket at that magnitude spans 128.
+    EXPECT_NEAR(p50, 600.0, 128.0);
+    EXPECT_NEAR(p99, 1090.0, 128.0);
+    EXPECT_GE(p99, p50);
+    EXPECT_LE(h.p999(), 1099.0);
+}
+
+TEST(LogHistogram, SingleValueAllPercentilesCollapse)
+{
+    LogHistogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.sample(777);
+    EXPECT_DOUBLE_EQ(h.p50(), 777.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 777.0);
+    EXPECT_DOUBLE_EQ(h.p999(), 777.0);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedSampling)
+{
+    LogHistogram a, b, both;
+    for (std::uint64_t v = 0; v < 500; v += 3) {
+        a.sample(v);
+        both.sample(v);
+    }
+    for (std::uint64_t v = 1000; v < 9000; v += 7) {
+        b.sample(v * v % 8191);
+        both.sample(v * v % 8191);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total(), both.total());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+    EXPECT_DOUBLE_EQ(a.p50(), both.p50());
+    EXPECT_DOUBLE_EQ(a.p99(), both.p99());
+    for (size_t i = 0; i < a.numBuckets(); ++i)
+        EXPECT_EQ(a.bucketCount(i), both.bucketCount(i));
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity)
+{
+    LogHistogram a, empty;
+    a.sample(5);
+    a.sample(500);
+    a.merge(empty);
+    EXPECT_EQ(a.total(), 2u);
+    EXPECT_EQ(a.min(), 5u);
+    EXPECT_EQ(a.max(), 500u);
+
+    LogHistogram b;
+    b.merge(a);
+    EXPECT_EQ(b.total(), 2u);
+    EXPECT_EQ(b.min(), 5u);
+    EXPECT_EQ(b.max(), 500u);
+}
+
+TEST(LogHistogram, ResetClears)
+{
+    LogHistogram h;
+    h.sample(42);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+}
+
 TEST(RatioStat, Rates)
 {
     RatioStat r;
