@@ -22,11 +22,12 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declareObservabilityFlags(flags);
+    declareParallelFlags(flags);
     flags.parse(argc, argv,
                 "Ablations: page mode, next-line prefetch, "
                 "criticality scheduling, write-drain watermarks");
 
-    ExperimentContext ctx = contextFromFlags(flags);
+    ParallelExperimentRunner runner = runnerFromFlags(flags);
     const auto mixes = mixesFromFlags(flags, memAndMixNames());
 
     banner("Ablation", "design choices (weighted speedup)",
@@ -37,41 +38,50 @@ main(int argc, char **argv)
     ResultTable table({"baseline", "close-pg", "prefetch", "critical",
                        "eager-wr", "pg-ilv"});
 
+    std::vector<std::vector<std::size_t>> ids;
     for (const std::string &mix_name : mixes) {
         const WorkloadMix &mix = mixByName(mix_name);
         const auto threads =
             static_cast<std::uint32_t>(mix.apps.size());
 
-        auto ws = [&](auto tweak) {
+        auto submit = [&](auto tweak) {
             SystemConfig config = SystemConfig::paperDefault(threads);
             tweak(config);
             applyObservabilityFlags(flags, config);
-            return ctx.runMix(config, mix).weightedSpeedup;
+            return runner.submitMix(config, mix);
         };
 
-        const double baseline = ws([](SystemConfig &) {});
-        const double close_pg = ws([](SystemConfig &c) {
-            c.dram.pageMode = PageMode::Close;
+        ids.push_back({
+            submit([](SystemConfig &) {}),
+            submit([](SystemConfig &c) {
+                c.dram.pageMode = PageMode::Close;
+            }),
+            submit([](SystemConfig &c) {
+                c.hierarchy.prefetchNextLine = true;
+            }),
+            submit([](SystemConfig &c) {
+                c.scheduler = SchedulerKind::CriticalityBased;
+            }),
+            submit([](SystemConfig &c) {
+                c.dram.writeHighWatermark = 1;
+                c.dram.writeLowWatermark = 0;
+            }),
+            submit([](SystemConfig &c) {
+                c.dram.channelInterleave = ChannelInterleave::Page;
+            }),
         });
-        const double prefetch = ws([](SystemConfig &c) {
-            c.hierarchy.prefetchNextLine = true;
-        });
-        const double critical = ws([](SystemConfig &c) {
-            c.scheduler = SchedulerKind::CriticalityBased;
-        });
-        const double eager_wr = ws([](SystemConfig &c) {
-            c.dram.writeHighWatermark = 1;
-            c.dram.writeLowWatermark = 0;
-        });
-        const double page_ilv = ws([](SystemConfig &c) {
-            c.dram.channelInterleave = ChannelInterleave::Page;
-        });
+    }
+    runner.run();
 
-        table.addRow(mix_name, {baseline, close_pg / baseline,
-                                prefetch / baseline,
-                                critical / baseline,
-                                eager_wr / baseline,
-                                page_ilv / baseline});
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        std::vector<double> ws;
+        for (std::size_t id : ids[m])
+            ws.push_back(runner.mixResult(id).weightedSpeedup);
+        const double baseline = ws[0];
+        table.addRow(mixes[m],
+                     {baseline, ws[1] / baseline, ws[2] / baseline,
+                      ws[3] / baseline, ws[4] / baseline,
+                      ws[5] / baseline});
     }
     table.print();
     std::printf("(columns after 'baseline' are ratios to it)\n");

@@ -14,7 +14,9 @@
 
 #include "common/flags.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 
 namespace smtdram::bench
 {
@@ -168,6 +170,84 @@ contextFromFlags(const Flags &flags)
         static_cast<std::uint64_t>(flags.getInt("insts")),
         static_cast<std::uint64_t>(flags.getInt("warmup")),
         static_cast<std::uint64_t>(flags.getInt("seed")));
+}
+
+/**
+ * Declare the parallel-execution flags shared by every sweep bench.
+ * --jobs 0 (the default) means "one worker per hardware thread";
+ * --jobs 1 is the historical serial path.  Results are byte-identical
+ * for every value — see ParallelExperimentRunner.
+ */
+inline void
+declareParallelFlags(Flags &flags)
+{
+    flags.declare("jobs", "0",
+                  "worker threads for the sweep (0 = one per hardware "
+                  "thread, 1 = serial)");
+    flags.declare("bench-json", "",
+                  "write serial-vs-parallel wall-clock timings of the "
+                  "sweep as JSON to this path");
+}
+
+/** Worker count from --jobs, resolving 0 to hardware concurrency. */
+inline unsigned
+jobsFromFlags(const Flags &flags)
+{
+    const std::int64_t v = flags.getInt("jobs");
+    fatal_if(v < 0, "--jobs must be >= 0");
+    return v == 0 ? ThreadPool::defaultWorkers()
+                  : static_cast<unsigned>(v);
+}
+
+/** Instruction budgets and seed from the parsed common flags. */
+inline ExperimentParams
+paramsFromFlags(const Flags &flags)
+{
+    ExperimentParams p;
+    p.measureInsts = static_cast<std::uint64_t>(flags.getInt("insts"));
+    p.warmupInsts = static_cast<std::uint64_t>(flags.getInt("warmup"));
+    p.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    return p;
+}
+
+/** Build the sweep runner from the common + parallel flags. */
+inline ParallelExperimentRunner
+runnerFromFlags(const Flags &flags)
+{
+    return ParallelExperimentRunner(paramsFromFlags(flags),
+                                    jobsFromFlags(flags));
+}
+
+/**
+ * Write the --bench-json throughput document: wall-clock seconds for
+ * the same sweep executed serially and with @p jobs workers.
+ */
+inline void
+writeThroughputJson(const std::string &path, const std::string &bench,
+                    unsigned jobs, std::size_t simulations,
+                    double serial_seconds, double parallel_seconds)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write --bench-json file '%s'", path.c_str());
+        return;
+    }
+    const double speedup =
+        parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema\": \"smtdram-bench-throughput\",\n"
+                 "  \"version\": 1,\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"simulations\": %zu,\n"
+                 "  \"serial_seconds\": %.6f,\n"
+                 "  \"parallel_seconds\": %.6f,\n"
+                 "  \"speedup\": %.3f\n"
+                 "}\n",
+                 bench.c_str(), jobs, simulations, serial_seconds,
+                 parallel_seconds, speedup);
+    std::fclose(f);
 }
 
 /** The figure's workload set, optionally overridden by --mixes. */

@@ -24,6 +24,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declareObservabilityFlags(flags);
+    declareParallelFlags(flags);
     flags.declare("apps", "",
                   "comma-separated subset of applications (default: "
                   "all 26)");
@@ -37,11 +38,6 @@ main(int argc, char **argv)
             apps.push_back(p.name);
     }
 
-    const auto insts = static_cast<std::uint64_t>(flags.getInt("insts"));
-    const auto warmup =
-        static_cast<std::uint64_t>(flags.getInt("warmup"));
-    const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-
     banner("Figure 1", "CPI breakdown, applications sorted by CPImem",
            "mcf has by far the largest CPImem; ILP applications "
            "(gzip, bzip2, sixtrack, eon, ...) have negligible CPImem");
@@ -51,11 +47,14 @@ main(int argc, char **argv)
         CpiBreakdown b;
     };
     const ObservabilityConfig observe = observabilityFromFlags(flags);
+    ParallelExperimentRunner runner = runnerFromFlags(flags);
+    std::vector<std::size_t> ids;
+    for (const std::string &app : apps)
+        ids.push_back(runner.submitCpiBreakdown(app, observe));
+    runner.run();
     std::vector<Entry> rows;
-    for (const std::string &app : apps) {
-        rows.push_back({app, measureCpiBreakdown(app, insts, warmup,
-                                                 seed, observe)});
-    }
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        rows.push_back({apps[i], runner.cpiResult(ids[i])});
 
     std::sort(rows.begin(), rows.end(),
               [](const Entry &a, const Entry &b) {

@@ -17,11 +17,12 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declareObservabilityFlags(flags);
+    declareParallelFlags(flags);
     flags.parse(argc, argv,
                 "Figure 2: weighted speedup of four SMT fetch "
                 "policies on the 2-channel DDR SDRAM system");
 
-    ExperimentContext ctx = contextFromFlags(flags);
+    ParallelExperimentRunner runner = runnerFromFlags(flags);
     const auto mixes = mixesFromFlags(flags, allMixNames());
 
     banner("Figure 2", "weighted speedup of four fetch policies",
@@ -33,17 +34,25 @@ main(int argc, char **argv)
         cols.push_back(fetchPolicyName(k));
     ResultTable table(cols);
 
+    std::vector<std::vector<std::size_t>> ids;
     for (const std::string &mix_name : mixes) {
         const WorkloadMix &mix = mixByName(mix_name);
-        std::vector<double> ws;
+        ids.emplace_back();
         for (FetchPolicyKind policy : allFetchPolicyKinds()) {
             SystemConfig config = SystemConfig::paperDefault(
                 static_cast<std::uint32_t>(mix.apps.size()));
             config.core.fetchPolicy = policy;
             applyObservabilityFlags(flags, config);
-            ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
+            ids.back().push_back(runner.submitMix(config, mix));
         }
-        table.addRow(mix_name, ws);
+    }
+    runner.run();
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        std::vector<double> ws;
+        for (std::size_t id : ids[m])
+            ws.push_back(runner.mixResult(id).weightedSpeedup);
+        table.addRow(mixes[m], ws);
     }
     table.print();
     return 0;

@@ -21,11 +21,12 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declareObservabilityFlags(flags);
+    declareParallelFlags(flags);
     flags.parse(argc, argv,
                 "Figure 3: performance loss due to DRAM accesses "
                 "under ICOUNT and DWarn");
 
-    ExperimentContext ctx = contextFromFlags(flags);
+    ParallelExperimentRunner runner = runnerFromFlags(flags);
     const auto mixes = mixesFromFlags(flags, allMixNames());
 
     banner("Figure 3",
@@ -48,6 +49,10 @@ main(int argc, char **argv)
     ResultTable table({"dram+IC", "dram+DW", "IC tput", "DW tput",
                        "DW eff", "mem/100i", "int-issue%"});
 
+    struct MixIds {
+        std::size_t refFixed, refEff, ic, dw, dwEff;
+    };
+    std::vector<MixIds> ids;
     for (const std::string &mix_name : mixes) {
         const WorkloadMix &mix = mixByName(mix_name);
         const auto threads =
@@ -55,22 +60,33 @@ main(int argc, char **argv)
 
         SystemConfig ref = SystemConfig::paperDefault(threads);
         ref.core.fetchPolicy = FetchPolicyKind::Icount;
-        const MixRun ref_fixed = ctx.runMix(ref.withInfiniteL3(), mix);
-        const MixRun ref_eff =
-            ctx.runMix(ref.withInfiniteL3(), mix, true);
 
         SystemConfig icount = SystemConfig::paperDefault(threads);
         icount.core.fetchPolicy = FetchPolicyKind::Icount;
-        const MixRun ic = ctx.runMix(icount, mix);
 
         SystemConfig dwarn = SystemConfig::paperDefault(threads);
         dwarn.core.fetchPolicy = FetchPolicyKind::DWarn;
         applyObservabilityFlags(flags, dwarn);
-        const MixRun dw = ctx.runMix(dwarn, mix);
-        const MixRun dw_eff = ctx.runMix(dwarn, mix, true);
+
+        MixIds id;
+        id.refFixed = runner.submitMix(ref.withInfiniteL3(), mix);
+        id.refEff = runner.submitMix(ref.withInfiniteL3(), mix, true);
+        id.ic = runner.submitMix(icount, mix);
+        id.dw = runner.submitMix(dwarn, mix);
+        id.dwEff = runner.submitMix(dwarn, mix, true);
+        ids.push_back(id);
+    }
+    runner.run();
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const MixRun &ref_fixed = runner.mixResult(ids[m].refFixed);
+        const MixRun &ref_eff = runner.mixResult(ids[m].refEff);
+        const MixRun &ic = runner.mixResult(ids[m].ic);
+        const MixRun &dw = runner.mixResult(ids[m].dw);
+        const MixRun &dw_eff = runner.mixResult(ids[m].dwEff);
 
         table.addRow(
-            mix_name,
+            mixes[m],
             {ic.weightedSpeedup, dw.weightedSpeedup,
              ic.weightedSpeedup / ref_fixed.weightedSpeedup,
              dw.weightedSpeedup / ref_fixed.weightedSpeedup,

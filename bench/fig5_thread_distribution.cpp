@@ -16,11 +16,12 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declareObservabilityFlags(flags);
+    declareParallelFlags(flags);
     flags.parse(argc, argv,
                 "Figure 5: number of threads generating the "
                 "outstanding requests when several are pending");
 
-    ExperimentContext ctx = contextFromFlags(flags);
+    ParallelExperimentRunner runner = runnerFromFlags(flags);
     const auto mixes = mixesFromFlags(flags, allMixNames());
 
     banner("Figure 5",
@@ -31,12 +32,19 @@ main(int argc, char **argv)
 
     ResultTable table({"1", "2", "3", "4", "5", "6", "7", "8"});
 
+    std::vector<std::size_t> ids;
     for (const std::string &mix_name : mixes) {
         const WorkloadMix &mix = mixByName(mix_name);
         SystemConfig config = SystemConfig::paperDefault(
             static_cast<std::uint32_t>(mix.apps.size()));
         applyObservabilityFlags(flags, config);
-        const MixRun r = ctx.runMix(config, mix);
+        ids.push_back(runner.submitMix(config, mix));
+    }
+    runner.run();
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const std::string &mix_name = mixes[m];
+        const MixRun &r = runner.mixResult(ids[m]);
         const Histogram &h = r.run.threadsHist;
         std::vector<double> row;
         for (size_t b = 0; b < h.numBuckets(); ++b)

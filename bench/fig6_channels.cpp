@@ -16,11 +16,12 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declareObservabilityFlags(flags);
+    declareParallelFlags(flags);
     flags.parse(argc, argv,
                 "Figure 6: performance vs. number of independent "
                 "memory channels (2/4/8)");
 
-    ExperimentContext ctx = contextFromFlags(flags);
+    ParallelExperimentRunner runner = runnerFromFlags(flags);
     const auto mixes = mixesFromFlags(flags, allMixNames());
 
     banner("Figure 6",
@@ -32,21 +33,29 @@ main(int argc, char **argv)
 
     ResultTable table({"2ch", "4ch", "8ch", "4ch norm", "8ch norm"});
 
+    std::vector<std::vector<std::size_t>> ids;
     for (const std::string &mix_name : mixes) {
         const WorkloadMix &mix = mixByName(mix_name);
         const auto threads =
             static_cast<std::uint32_t>(mix.apps.size());
 
-        std::vector<double> ws;
+        ids.emplace_back();
         for (std::uint32_t channels : {2u, 4u, 8u}) {
             SystemConfig config = SystemConfig::paperDefault(threads);
             const MappingScheme mapping = config.dram.mapping;
             config.dram = DramConfig::ddrSdram(channels);
             config.dram.mapping = mapping;
             applyObservabilityFlags(flags, config);
-            ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
+            ids.back().push_back(runner.submitMix(config, mix));
         }
-        table.addRow(mix_name, {ws[0], ws[1], ws[2], ws[1] / ws[0],
+    }
+    runner.run();
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        std::vector<double> ws;
+        for (std::size_t id : ids[m])
+            ws.push_back(runner.mixResult(id).weightedSpeedup);
+        table.addRow(mixes[m], {ws[0], ws[1], ws[2], ws[1] / ws[0],
                                 ws[2] / ws[0]});
     }
     table.print();

@@ -19,11 +19,12 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declareObservabilityFlags(flags);
+    declareParallelFlags(flags);
     flags.parse(argc, argv,
                 "Figure 7: physical-to-logical channel clustering "
                 "(2C-1G ... 8C-4G), MEM and MIX workloads");
 
-    ExperimentContext ctx = contextFromFlags(flags);
+    ParallelExperimentRunner runner = runnerFromFlags(flags);
     const auto mixes = mixesFromFlags(flags, memAndMixNames());
 
     banner("Figure 7",
@@ -46,24 +47,32 @@ main(int argc, char **argv)
     }
     ResultTable table(cols);
 
+    std::vector<std::vector<std::size_t>> ids;
     for (const std::string &mix_name : mixes) {
         const WorkloadMix &mix = mixByName(mix_name);
         const auto threads =
             static_cast<std::uint32_t>(mix.apps.size());
 
-        std::vector<double> ws;
+        ids.emplace_back();
         for (const Org &o : orgs) {
             SystemConfig config = SystemConfig::paperDefault(threads);
             const MappingScheme mapping = config.dram.mapping;
             config.dram = DramConfig::ddrSdram(o.channels, o.gang);
             config.dram.mapping = mapping;
             applyObservabilityFlags(flags, config);
-            ws.push_back(ctx.runMix(config, mix).weightedSpeedup);
+            ids.back().push_back(runner.submitMix(config, mix));
         }
+    }
+    runner.run();
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        std::vector<double> ws;
+        for (std::size_t id : ids[m])
+            ws.push_back(runner.mixResult(id).weightedSpeedup);
         const double base = ws[0];
         for (double &v : ws)
             v /= base;
-        table.addRow(mix_name, ws);
+        table.addRow(mixes[m], ws);
     }
     table.print();
     return 0;

@@ -16,11 +16,12 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declareObservabilityFlags(flags);
+    declareParallelFlags(flags);
     flags.parse(argc, argv,
                 "Figure 8: row-buffer miss rates, page vs. XOR "
                 "mapping, 2-channel DDR SDRAM");
 
-    ExperimentContext ctx = contextFromFlags(flags);
+    ParallelExperimentRunner runner = runnerFromFlags(flags);
     const auto mixes = mixesFromFlags(flags, allMixNames());
 
     banner("Figure 8",
@@ -31,21 +32,29 @@ main(int argc, char **argv)
 
     ResultTable table({"page", "xor", "delta"});
 
+    std::vector<std::vector<std::size_t>> ids;
     for (const std::string &mix_name : mixes) {
         const WorkloadMix &mix = mixByName(mix_name);
         const auto threads =
             static_cast<std::uint32_t>(mix.apps.size());
 
-        std::vector<double> rates;
+        ids.emplace_back();
         for (MappingScheme scheme :
              {MappingScheme::PageInterleave, MappingScheme::XorPermute}) {
             SystemConfig config = SystemConfig::paperDefault(threads);
             config.dram.mapping = scheme;
             applyObservabilityFlags(flags, config);
-            rates.push_back(
-                100.0 * ctx.runMix(config, mix).run.rowMissRate);
+            ids.back().push_back(runner.submitMix(config, mix));
         }
-        table.addRow(mix_name,
+    }
+    runner.run();
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        std::vector<double> rates;
+        for (std::size_t id : ids[m])
+            rates.push_back(
+                100.0 * runner.mixResult(id).run.rowMissRate);
+        table.addRow(mixes[m],
                      {rates[0], rates[1], rates[0] - rates[1]});
     }
     table.print("%9.1f%%");

@@ -15,6 +15,7 @@
 #include "dram/address_mapping.hh"
 #include "dram/dram_system.hh"
 #include "dram/memory_controller.hh"
+#include "sim/smt_system.hh"
 #include "workload/spec2000.hh"
 #include "workload/synthetic_stream.hh"
 
@@ -278,6 +279,31 @@ BM_EccScrub(benchmark::State &state)
     state.counters["poisoned"] = static_cast<double>(poisoned);
 }
 BENCHMARK(BM_EccScrub)->DenseRange(0, 5)->Iterations(150'000);
+
+/**
+ * Whole-simulator throughput: simulated cycles per wall-clock second
+ * on a small 2-thread memory-bound mix.  This is the number the
+ * per-cycle kernel optimizations (candidate scratch reuse, positional
+ * dequeue, incremental commit totals, DRAM idle fast-path) move; the
+ * figure sweeps scale with it directly.
+ */
+void
+BM_SimThroughput(benchmark::State &state)
+{
+    const SystemConfig config = SystemConfig::paperDefault(2);
+    std::vector<AppProfile> apps = {specProfile("mcf"),
+                                    specProfile("swim")};
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        SmtSystem system(config, apps, 42);
+        const RunResult r = system.run(4'000, 1'000);
+        cycles += r.measuredCycles;
+        benchmark::DoNotOptimize(r.measuredCycles);
+    }
+    state.counters["sim_cycles_per_sec"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimThroughput);
 
 void
 BM_CacheArrayAccess(benchmark::State &state)

@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace smtdram
@@ -10,17 +12,27 @@ namespace smtdram
 namespace
 {
 
-LogSink *g_sink = nullptr;
-LogVerbosity g_verbosity = LogVerbosity::Normal;
+// The sink and verbosity are read on every warn()/inform() from any
+// simulation thread; plain globals would be data races under a
+// parallel sweep.  Relaxed atomics suffice: a message racing a
+// configuration change may use either setting, never a torn value.
+std::atomic<LogSink *> g_sink{nullptr};
+std::atomic<LogVerbosity> g_verbosity{LogVerbosity::Normal};
+
+// The panic hook is a std::function and needs a real lock.  The
+// handle counter lets an owner clear only its own installation.
+std::mutex g_panicHookMu;
 std::function<void()> g_panicHook;
+PanicHookHandle g_panicHookHandle = 0;
+std::uint64_t g_nextPanicHookHandle = 1;
 
 void
 emitWarn(const std::string &msg)
 {
-    if (g_verbosity < LogVerbosity::WarnOnly)
+    if (logVerbosity() < LogVerbosity::WarnOnly)
         return;
-    if (g_sink)
-        g_sink->warnMessage(msg);
+    if (LogSink *sink = g_sink.load(std::memory_order_relaxed))
+        sink->warnMessage(msg);
     else
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
@@ -30,29 +42,41 @@ emitWarn(const std::string &msg)
 LogSink *
 setLogSink(LogSink *sink)
 {
-    LogSink *prev = g_sink;
-    g_sink = sink;
-    return prev;
+    return g_sink.exchange(sink, std::memory_order_relaxed);
 }
 
 LogVerbosity
 setLogVerbosity(LogVerbosity v)
 {
-    LogVerbosity prev = g_verbosity;
-    g_verbosity = v;
-    return prev;
+    return g_verbosity.exchange(v, std::memory_order_relaxed);
 }
 
 LogVerbosity
 logVerbosity()
 {
-    return g_verbosity;
+    return g_verbosity.load(std::memory_order_relaxed);
+}
+
+PanicHookHandle
+setPanicHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(g_panicHookMu);
+    const bool empty = !hook;
+    g_panicHook = std::move(hook);
+    g_panicHookHandle = empty ? 0 : g_nextPanicHookHandle++;
+    return g_panicHookHandle;
 }
 
 void
-setPanicHook(std::function<void()> hook)
+clearPanicHook(PanicHookHandle handle)
 {
-    g_panicHook = std::move(hook);
+    if (handle == 0)
+        return;
+    std::lock_guard<std::mutex> lock(g_panicHookMu);
+    if (g_panicHookHandle == handle) {
+        g_panicHook = nullptr;
+        g_panicHookHandle = 0;
+    }
 }
 
 std::string
@@ -79,10 +103,15 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     // Post-mortem hook (trace flush, stats snapshot) after the message
     // so the panic reason is on stderr even if the hook dies too.
-    static bool in_panic = false;
-    if (g_panicHook && !in_panic) {
-        in_panic = true;
-        g_panicHook();
+    static std::atomic<bool> in_panic{false};
+    if (!in_panic.exchange(true)) {
+        std::function<void()> hook;
+        {
+            std::lock_guard<std::mutex> lock(g_panicHookMu);
+            hook = g_panicHook;
+        }
+        if (hook)
+            hook();
     }
     std::abort();
 }
@@ -111,11 +140,10 @@ warnImpl(const char *fmt, ...)
 }
 
 void
-warnOnceImpl(bool &fired, const char *fmt, ...)
+warnOnceImpl(std::atomic<bool> &fired, const char *fmt, ...)
 {
-    if (fired)
+    if (fired.exchange(true, std::memory_order_relaxed))
         return;
-    fired = true;
     if (logVerbosity() < LogVerbosity::WarnOnly)
         return;
     va_list args;
@@ -134,8 +162,8 @@ informImpl(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    if (g_sink)
-        g_sink->informMessage(msg);
+    if (LogSink *sink = g_sink.load(std::memory_order_relaxed))
+        sink->informMessage(msg);
     else
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }

@@ -13,6 +13,7 @@
 #ifndef SMTDRAM_COMMON_LOGGING_HH
 #define SMTDRAM_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <functional>
@@ -57,14 +58,31 @@ LogVerbosity setLogVerbosity(LogVerbosity v);
 LogVerbosity logVerbosity();
 
 /**
+ * Token identifying one installed panic hook, so an owner can clear
+ * its own hook without clobbering a newer one (parallel sweeps keep
+ * several simulations alive at once; the slot belongs to whoever
+ * installed last).  0 never names a real hook.
+ */
+using PanicHookHandle = std::uint64_t;
+
+/**
  * Hook run by panic() after printing the message and before
  * aborting — the seam that turns a wedge death into a post-mortem:
  * the simulator installs a hook that flushes the trace buffer and
  * dumps a final stats snapshot.  Single slot; an empty function
  * clears it.  Re-entrant panics skip the hook so a hook that itself
- * panics cannot recurse.
+ * panics cannot recurse.  Thread-safe.
+ *
+ * @return a handle for clearPanicHook(), or 0 when @p hook is empty.
  */
-void setPanicHook(std::function<void()> hook);
+PanicHookHandle setPanicHook(std::function<void()> hook);
+
+/**
+ * Clear the panic hook, but only if @p handle still names the
+ * installed one — a later setPanicHook() wins over an older owner's
+ * teardown.  clearPanicHook(0) is a no-op.
+ */
+void clearPanicHook(PanicHookHandle handle);
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));
@@ -73,7 +91,7 @@ void setPanicHook(std::function<void()> hook);
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** warn() that fires at most once per call site (see warn_once). */
-void warnOnceImpl(bool &fired, const char *fmt, ...)
+void warnOnceImpl(std::atomic<bool> &fired, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
 /** Formats like vsnprintf into a std::string. */
@@ -92,10 +110,13 @@ std::string vformat(const char *fmt, va_list args);
  * warn() at most once per call site for the process lifetime — for
  * conditions hit every cycle of a tight loop (fault-injection
  * retries, deferred refreshes) that would otherwise flood stderr.
+ * The latch is atomic so call sites shared by concurrently running
+ * simulations stay race-free (parallel sweeps may warn twice in a
+ * photo finish, never a torn read).
  */
 #define warn_once(...)                                        \
     do {                                                      \
-        static bool _smtdram_warned_once = false;             \
+        static std::atomic<bool> _smtdram_warned_once{false}; \
         ::smtdram::warnOnceImpl(_smtdram_warned_once,         \
                                 __VA_ARGS__);                 \
     } while (0)

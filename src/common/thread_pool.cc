@@ -1,0 +1,84 @@
+#include "common/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    fatal_if(workers == 0, "ThreadPool needs at least one worker");
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    // Drain before stopping: a pool owner that forgot wait() still
+    // gets every submitted task executed, never silently dropped.
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        panic_if(stopping_, "submit() on a stopping ThreadPool");
+        tasks_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock,
+                  [this] { return tasks_.empty() && active_ == 0; });
+}
+
+size_t
+ThreadPool::queued() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+}
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        taskReady_.wait(
+            lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty())
+            return;  // stopping_ and nothing left to drain
+        std::function<void()> task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++active_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --active_;
+        if (tasks_.empty() && active_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+} // namespace smtdram

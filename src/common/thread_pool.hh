@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fixed-size worker pool for embarrassingly-parallel simulation jobs.
+ *
+ * The pool owns N worker threads that drain a FIFO task queue.  It
+ * deliberately has no futures, no work stealing, and no task
+ * priorities: callers that need results or ordering (the parallel
+ * experiment runner) keep their own per-job slots and use wait() as
+ * the single barrier.  Tasks must not throw — wrap fallible work in
+ * try/catch and stash the exception in the job slot, so error
+ * handling stays deterministic instead of depending on which worker
+ * saw the throw.
+ */
+
+#ifndef SMTDRAM_COMMON_THREAD_POOL_HH
+#define SMTDRAM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smtdram
+{
+
+/** Fixed-size FIFO worker pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p workers threads.  @p workers must be at least 1; use
+     * defaultWorkers() for "one per hardware thread".
+     */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Queue @p task; workers run tasks in submission order. */
+    void submit(std::function<void()> task);
+
+    /** Block until every task submitted so far has finished. */
+    void wait();
+
+    unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+    /** Queued-but-not-started tasks (diagnostics only). */
+    size_t queued() const;
+
+    /** hardware_concurrency(), clamped to at least 1. */
+    static unsigned defaultWorkers();
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable taskReady_;   ///< workers wait here
+    std::condition_variable allDone_;     ///< wait() blocks here
+    std::deque<std::function<void()>> tasks_;
+    std::vector<std::thread> threads_;
+    size_t active_ = 0;  ///< tasks currently executing
+    bool stopping_ = false;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_COMMON_THREAD_POOL_HH

@@ -175,6 +175,7 @@ SmtCore::commitStage(Cycle now)
             --robOcc_[tid];
             ++t.robHead;
             ++perf_[tid].committedInsts;
+            ++totalCommitted_;
             --budget;
         }
     }

@@ -67,6 +67,12 @@ class SmtCore
 
     const ThreadPerf &perf(ThreadId tid) const { return perf_[tid]; }
 
+    /**
+     * Commits across all threads, maintained incrementally at commit
+     * so per-cycle progress checks need not sum per-thread counters.
+     */
+    std::uint64_t totalCommittedInsts() const { return totalCommitted_; }
+
     /** ROB entries currently held by @p tid. */
     std::uint32_t
     robOccupancy(ThreadId tid) const
@@ -195,6 +201,8 @@ class SmtCore
 
     std::vector<ThreadState> threads_;
     std::vector<ThreadPerf> perf_;
+    /** Sum of perf_[*].committedInsts, updated at commit. */
+    std::uint64_t totalCommitted_ = 0;
 
     /** Issue queues: (tid, seq) refs in age order. */
     struct IqRef {

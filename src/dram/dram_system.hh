@@ -52,6 +52,25 @@ class DramSystem
     /** Advance all channels to cycle @p now; fires read callbacks. */
     void tick(Cycle now);
 
+    /**
+     * True when tick(@p now) would do no work: every controller idle
+     * (see MemoryController::idleAt) and no scrub burst due.  Lets
+     * tick() return immediately during compute-bound phases.
+     */
+    bool
+    idleAt(Cycle now) const
+    {
+        for (const ScrubState &s : scrub_) {
+            if (now >= s.nextAt)
+                return false;
+        }
+        for (const MemoryController &mc : controllers_) {
+            if (!mc.idleAt(now))
+                return false;
+        }
+        return true;
+    }
+
     /** Called once per completed read, in completion order. */
     void setReadCallback(ReadCallback cb) { readCallback_ = std::move(cb); }
 

@@ -53,6 +53,9 @@ MemoryController::MemoryController(const DramConfig &config,
         const Cycle interval = config_.timing.refreshInterval;
         for (size_t i = 0; i < banks_.size(); ++i)
             banks_[i].nextRefreshAt = (i + 1) * interval / banks_.size();
+        nextRefreshDue_ = banks_.front().nextRefreshAt;
+        for (const Bank &bank : banks_)
+            nextRefreshDue_ = std::min(nextRefreshDue_, bank.nextRefreshAt);
     }
 }
 
@@ -117,10 +120,12 @@ MemoryController::enqueue(DramRequest req)
 
 void
 MemoryController::gatherCandidates(const std::deque<DramRequest> &queue,
-                                   Cycle now,
+                                   CandidateSource source, Cycle now,
                                    std::vector<SchedCandidate> &out) const
 {
+    std::uint32_t index = 0;
     for (const auto &req : queue) {
+        const std::uint32_t i = index++;
         if (req.notBefore > now)
             continue;
         const Bank &bank = banks_[req.coord.bank];
@@ -131,6 +136,8 @@ MemoryController::gatherCandidates(const std::deque<DramRequest> &queue,
         c.rowHit = config_.pageMode == PageMode::Open &&
                    bank.rowHit(req.coord.row);
         c.bankIdle = bank.idle();
+        c.source = source;
+        c.sourceIndex = i;
         out.push_back(c);
     }
 }
@@ -142,7 +149,9 @@ MemoryController::gatherScrubCandidates(
 {
     const Cycle deadline =
         kScrubEscalationIntervals * config_.ecc.scrubInterval;
+    std::uint32_t index = 0;
     for (const auto &req : scrubQueue_) {
+        const std::uint32_t i = index++;
         if (req.notBefore > now)
             continue;
         if (escalated_only && now - req.arrival <= deadline)
@@ -155,6 +164,8 @@ MemoryController::gatherScrubCandidates(
         c.rowHit = config_.pageMode == PageMode::Open &&
                    bank.rowHit(req.coord.row);
         c.bankIdle = bank.idle();
+        c.source = CandidateSource::ScrubQueue;
+        c.sourceIndex = i;
         out.push_back(c);
     }
 }
@@ -162,27 +173,37 @@ MemoryController::gatherScrubCandidates(
 void
 MemoryController::tryIssue(Cycle now)
 {
-    // Scheduling decisions are taken as late as possible: never book
-    // the data bus more than maxBusLead_ ahead of real time.
-    if (busFreeAt_ > now + maxBusLead_)
-        return;
-
-    // Write-drain hysteresis.
+    // Write-drain hysteresis — evaluated before the bus-lead early-out
+    // so the watermark state is fresh on every cycle.  This ordering
+    // is behavior-identical to evaluating it after: writes leave the
+    // queue only by issuing below, which cannot happen while the
+    // early-out holds, so during a booked-bus window the write queue
+    // only grows and the first post-window evaluation latches the
+    // same state either way.  (Pinned by WriteDrainLatch* tests and
+    // golden bit-identity.)
     if (writeQueue_.size() >= config_.writeHighWatermark)
         drainingWrites_ = true;
     else if (writeQueue_.size() <= config_.writeLowWatermark)
         drainingWrites_ = false;
 
-    std::vector<SchedCandidate> candidates;
-    candidates.reserve(readQueue_.size() + writeQueue_.size() +
-                       scrubQueue_.size());
-    gatherCandidates(readQueue_, now, candidates);
+    // Scheduling decisions are taken as late as possible: never book
+    // the data bus more than maxBusLead_ ahead of real time.
+    if (busFreeAt_ > now + maxBusLead_)
+        return;
+
+    // Member scratch: gathering runs every busy cycle and must not
+    // allocate (capacity persists across calls).
+    std::vector<SchedCandidate> &candidates = candidateScratch_;
+    candidates.clear();
+    gatherCandidates(readQueue_, CandidateSource::ReadQueue, now,
+                     candidates);
     // A scrub read stale past its deadline competes with demand.
     if (!scrubQueue_.empty())
         gatherScrubCandidates(now, /*escalated_only=*/true, candidates);
     // Writes compete only when draining or when no read could go.
     if (drainingWrites_ || candidates.empty())
-        gatherCandidates(writeQueue_, now, candidates);
+        gatherCandidates(writeQueue_, CandidateSource::WriteQueue, now,
+                         candidates);
     // Fresh scrub reads take whatever cycles nothing else wants.
     if (candidates.empty())
         gatherScrubCandidates(now, /*escalated_only=*/false,
@@ -194,25 +215,18 @@ MemoryController::tryIssue(Cycle now)
                           scrubQueue_.size();
     const size_t pick = scheduler_->pick(candidates, queued);
     panic_if(pick >= candidates.size(), "scheduler picked out of range");
-    const DramRequest *chosen = candidates[pick].req;
+    const SchedCandidate &chosen = candidates[pick];
 
-    // Remove from its queue by id (the deques are small).
-    auto remove_from = [chosen](std::deque<DramRequest> &q,
-                                DramRequest &out_req) {
-        for (auto it = q.begin(); it != q.end(); ++it) {
-            if (it->id == chosen->id) {
-                out_req = *it;
-                q.erase(it);
-                return true;
-            }
-        }
-        return false;
-    };
-    DramRequest req;
-    bool found = remove_from(readQueue_, req) ||
-                 remove_from(writeQueue_, req) ||
-                 remove_from(scrubQueue_, req);
-    panic_if(!found, "picked request vanished from queues");
+    // Remove by recorded position — no re-scan of the three queues.
+    std::deque<DramRequest> &q =
+        chosen.source == CandidateSource::ReadQueue    ? readQueue_
+        : chosen.source == CandidateSource::WriteQueue ? writeQueue_
+                                                       : scrubQueue_;
+    panic_if(chosen.sourceIndex >= q.size() ||
+                 q[chosen.sourceIndex].id != chosen.req->id,
+             "picked request vanished from queues");
+    DramRequest req = std::move(q[chosen.sourceIndex]);
+    q.erase(q.begin() + chosen.sourceIndex);
 
     launch(std::move(req), now);
 }
@@ -323,36 +337,42 @@ MemoryController::serviceRefresh(Cycle now)
 {
     const Cycle interval = config_.timing.refreshInterval;
     const Cycle duration = config_.timing.refreshCycles;
+    Cycle next_due = kCycleNever;
     for (Bank &bank : banks_) {
-        if (now < bank.nextRefreshAt)
-            continue;
-        // A refresh due on a busy bank waits for the in-progress
-        // transaction; DDR allows postponing a bounded number of
-        // refreshes, so flag only pathological deferral.
-        if (bank.readyAt > now) {
-            if (now - bank.nextRefreshAt > 8 * interval) {
-                warn_once("bank refresh deferred more than 8*tREFI; "
-                          "the channel is likely wedged");
+        if (now >= bank.nextRefreshAt) {
+            // A refresh due on a busy bank waits for the in-progress
+            // transaction; DDR allows postponing a bounded number of
+            // refreshes, so flag only pathological deferral.
+            if (bank.readyAt > now) {
+                if (now - bank.nextRefreshAt > 8 * interval) {
+                    warn_once(
+                        "bank refresh deferred more than 8*tREFI; "
+                        "the channel is likely wedged");
+                }
+            } else {
+                bank.openRow = Bank::kNoRow;  // refresh == precharge
+                bank.readyAt = now + duration;
+                if (tracer_) {
+                    tracer_->slice(
+                        tracePidChannel(channel_),
+                        traceTidBank(static_cast<std::uint32_t>(
+                            &bank - banks_.data())),
+                        "refresh", now, duration);
+                }
+                // Catch up without scheduling a burst of back-to-back
+                // refreshes if the bank was blocked a few intervals.
+                bank.nextRefreshAt += interval;
+                if (bank.nextRefreshAt <= now)
+                    bank.nextRefreshAt = now + interval;
+                ++stats_.refreshes;
+                stats_.refreshBlockedCycles += duration;
             }
-            continue;
         }
-        bank.openRow = Bank::kNoRow;  // refresh implies precharge
-        bank.readyAt = now + duration;
-        if (tracer_) {
-            tracer_->slice(
-                tracePidChannel(channel_),
-                traceTidBank(static_cast<std::uint32_t>(
-                    &bank - banks_.data())),
-                "refresh", now, duration);
-        }
-        // Catch up without scheduling a burst of back-to-back
-        // refreshes if the bank was blocked for several intervals.
-        bank.nextRefreshAt += interval;
-        if (bank.nextRefreshAt <= now)
-            bank.nextRefreshAt = now + interval;
-        ++stats_.refreshes;
-        stats_.refreshBlockedCycles += duration;
+        next_due = std::min(next_due, bank.nextRefreshAt);
     }
+    // Deferred banks keep nextRefreshDue_ <= now, so idleAt() stays
+    // false and the system keeps ticking until they refresh.
+    nextRefreshDue_ = next_due;
 }
 
 void

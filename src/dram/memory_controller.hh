@@ -143,6 +143,22 @@ class MemoryController
      */
     Cycle nextEventAt() const;
 
+    /**
+     * True when tick(@p now) would be a no-op: nothing queued or in
+     * flight, no refresh due, and no fault injector drawing random
+     * numbers every cycle (skipping a tick then would desync the RNG
+     * stream and change results).  O(1); the DRAM-system idle
+     * fast-path calls this every cycle.
+     */
+    bool
+    idleAt(Cycle now) const
+    {
+        return !injector_.active() && inFlight_.empty() &&
+               readQueue_.empty() && writeQueue_.empty() &&
+               scrubQueue_.empty() &&
+               (!config_.refreshEnabled() || now < nextRefreshDue_);
+    }
+
     const ControllerStats &stats() const { return stats_; }
     void resetStats() { stats_ = ControllerStats(); injector_.resetStats(); }
 
@@ -182,8 +198,9 @@ class MemoryController
     /** Launch the best eligible transaction, if any. */
     void tryIssue(Cycle now);
 
-    /** Collect policy candidates from @p queue. */
-    void gatherCandidates(const std::deque<DramRequest> &queue, Cycle now,
+    /** Collect policy candidates from @p queue, tagged @p source. */
+    void gatherCandidates(const std::deque<DramRequest> &queue,
+                          CandidateSource source, Cycle now,
                           std::vector<SchedCandidate> &out) const;
 
     /**
@@ -223,6 +240,14 @@ class MemoryController
     /** Launched transactions ordered by completion time. */
     std::vector<DramRequest> inFlight_;
     bool drainingWrites_ = false;
+
+    /** Reused by tryIssue() so the per-cycle hot path never allocates
+     *  once the high-water capacity is reached. */
+    std::vector<SchedCandidate> candidateScratch_;
+
+    /** Earliest nextRefreshAt over all banks; lets idleAt() answer
+     *  without scanning banks every cycle. */
+    Cycle nextRefreshDue_ = kCycleNever;
 
     ControllerStats stats_;
 };

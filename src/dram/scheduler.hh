@@ -62,11 +62,22 @@ std::string schedulerName(SchedulerKind kind);
 /** Parse a scheduler name (case-insensitive); fatal()s on garbage. */
 SchedulerKind schedulerFromName(const std::string &name);
 
+/** Controller queue a candidate was gathered from. */
+enum class CandidateSource : std::uint8_t {
+    ReadQueue,
+    WriteQueue,
+    ScrubQueue,
+};
+
 /** View of a queued request the scheduler may rank. */
 struct SchedCandidate {
     const DramRequest *req = nullptr;
     bool rowHit = false;    ///< would hit the currently open row
     bool bankIdle = false;  ///< bank precharged, no conflict
+    /** Where the request sits, so the winner is removed by position
+     *  instead of re-scanning every queue for its id. */
+    CandidateSource source = CandidateSource::ReadQueue;
+    std::uint32_t sourceIndex = 0;  ///< index within that queue
 };
 
 /**

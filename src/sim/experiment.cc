@@ -80,6 +80,46 @@ configSignature(const SystemConfig &config)
 }
 
 double
+simulateAloneIpc(const std::string &app, const SystemConfig &config,
+                 const ExperimentParams &params)
+{
+    SystemConfig alone = config;
+    alone.core.numThreads = 1;
+    // Baseline runs share the mix's config but must not clobber its
+    // observability outputs (same file paths) — run them dark.
+    alone.observe = ObservabilityConfig{};
+    SmtSystem system(alone, {specProfile(app)}, params.seed);
+    const RunResult r =
+        system.run(params.measureInsts, params.warmupInsts);
+    return r.ipc.at(0);
+}
+
+MixRun
+simulateMixRun(const SystemConfig &config, const WorkloadMix &mix,
+               const ExperimentParams &params)
+{
+    fatal_if(config.core.numThreads != mix.apps.size(),
+             "config has %u threads but mix '%s' has %zu apps",
+             config.core.numThreads, mix.name.c_str(),
+             mix.apps.size());
+
+    SmtSystem system(config, profilesForMix(mix), params.seed);
+    MixRun out;
+    out.run = system.run(params.measureInsts, params.warmupInsts);
+    out.correctedErrors = out.run.dram.correctedErrors;
+    out.uncorrectableErrors = out.run.dram.uncorrectableErrors;
+    out.scrubReads = out.run.dram.scrubReads;
+    out.retriesExhausted = out.run.dram.retriesExhausted;
+    if (out.run.dram.readLatencyHist.total() > 0) {
+        out.readLatencyP50 = static_cast<std::uint64_t>(
+            out.run.dram.readLatencyHist.p50());
+        out.readLatencyP99 = static_cast<std::uint64_t>(
+            out.run.dram.readLatencyHist.p99());
+    }
+    return out;
+}
+
+double
 ExperimentContext::aloneIpc(const std::string &app)
 {
     return aloneIpcOn(app, SystemConfig::paperDefault(1));
@@ -94,14 +134,7 @@ ExperimentContext::aloneIpcOn(const std::string &app,
     if (it != aloneIpc_.end())
         return it->second;
 
-    SystemConfig alone = config;
-    alone.core.numThreads = 1;
-    // Baseline runs share the mix's config but must not clobber its
-    // observability outputs (same file paths) — run them dark.
-    alone.observe = ObservabilityConfig{};
-    SmtSystem system(alone, {specProfile(app)}, seed_);
-    const RunResult r = system.run(measureInsts_, warmupInsts_);
-    const double ipc = r.ipc.at(0);
+    const double ipc = simulateAloneIpc(app, config, params());
     aloneIpc_.emplace(key, ipc);
     return ipc;
 }
@@ -111,24 +144,7 @@ ExperimentContext::runMix(const SystemConfig &config,
                           const WorkloadMix &mix,
                           bool per_config_baselines)
 {
-    fatal_if(config.core.numThreads != mix.apps.size(),
-             "config has %u threads but mix '%s' has %zu apps",
-             config.core.numThreads, mix.name.c_str(),
-             mix.apps.size());
-
-    SmtSystem system(config, profilesForMix(mix), seed_);
-    MixRun out;
-    out.run = system.run(measureInsts_, warmupInsts_);
-    out.correctedErrors = out.run.dram.correctedErrors;
-    out.uncorrectableErrors = out.run.dram.uncorrectableErrors;
-    out.scrubReads = out.run.dram.scrubReads;
-    out.retriesExhausted = out.run.dram.retriesExhausted;
-    if (out.run.dram.readLatencyHist.total() > 0) {
-        out.readLatencyP50 = static_cast<std::uint64_t>(
-            out.run.dram.readLatencyHist.p50());
-        out.readLatencyP99 = static_cast<std::uint64_t>(
-            out.run.dram.readLatencyHist.p99());
-    }
+    MixRun out = simulateMixRun(config, mix, params());
     for (size_t i = 0; i < mix.apps.size(); ++i) {
         const double alone =
             per_config_baselines ? aloneIpcOn(mix.apps[i], config)

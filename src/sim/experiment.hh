@@ -43,11 +43,42 @@ struct MixRun {
     std::uint64_t readLatencyP99 = 0;
 };
 
+/** Instruction budgets and seed shared by a sweep's simulations. */
+struct ExperimentParams {
+    std::uint64_t measureInsts = 200'000;
+    std::uint64_t warmupInsts = 50'000;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Run @p app alone (one hardware thread) on @p config's memory
+ * system and return its IPC.  Observability outputs are disabled so
+ * baseline runs never clobber a mix run's trace/stats files.  Pure:
+ * no caching, safe to call from any thread.
+ */
+double simulateAloneIpc(const std::string &app,
+                        const SystemConfig &config,
+                        const ExperimentParams &params);
+
+/**
+ * Run @p mix on @p config and fill every MixRun field *except*
+ * weightedSpeedup (which needs baseline IPCs the caller supplies —
+ * see ExperimentContext::runMix and ParallelExperimentRunner).
+ * Pure: no caching, safe to call from any thread.
+ */
+MixRun simulateMixRun(const SystemConfig &config,
+                      const WorkloadMix &mix,
+                      const ExperimentParams &params);
+
 /**
  * Shared measurement context: instruction budgets and the cache of
  * single-thread baseline IPCs (measured on the paper's default
  * machine so weighted speedups stay comparable across memory
  * configurations, as in the paper's normalized figures).
+ *
+ * Serial: the baseline cache is not synchronized.  Sweeps that want
+ * to use every core go through ParallelExperimentRunner instead,
+ * which shares these exact per-run primitives.
  */
 class ExperimentContext
 {
@@ -55,6 +86,12 @@ class ExperimentContext
     explicit ExperimentContext(std::uint64_t measure_insts = 200'000,
                                std::uint64_t warmup_insts = 50'000,
                                std::uint64_t seed = 42);
+
+    explicit ExperimentContext(const ExperimentParams &params)
+        : ExperimentContext(params.measureInsts, params.warmupInsts,
+                            params.seed)
+    {
+    }
 
     /** Single-thread IPC of @p app on the reference machine. */
     double aloneIpc(const std::string &app);
@@ -83,6 +120,12 @@ class ExperimentContext
     std::uint64_t measureInsts() const { return measureInsts_; }
     std::uint64_t warmupInsts() const { return warmupInsts_; }
     std::uint64_t seed() const { return seed_; }
+
+    ExperimentParams
+    params() const
+    {
+        return {measureInsts_, warmupInsts_, seed_};
+    }
 
   private:
     std::uint64_t measureInsts_;

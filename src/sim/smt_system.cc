@@ -47,9 +47,10 @@ SmtSystem::SmtSystem(const SystemConfig &config,
     }
     if (config_.observe.any()) {
         // panic()/watchdog post-mortem: flush whatever observability
-        // outputs are configured before the process dies.
-        setPanicHook([this] { exportObservability(); });
-        panicHookSet_ = true;
+        // outputs are configured before the process dies.  The handle
+        // scopes teardown to our own installation so concurrent
+        // systems in a parallel sweep don't clear each other's hook.
+        panicHook_ = setPanicHook([this] { exportObservability(); });
     }
 
     prewarmCaches(apps);
@@ -57,8 +58,7 @@ SmtSystem::SmtSystem(const SystemConfig &config,
 
 SmtSystem::~SmtSystem()
 {
-    if (panicHookSet_)
-        setPanicHook({});
+    clearPanicHook(panicHook_);
     if (tracer_) {
         dram_->setTracer(nullptr);
         core_->setTracer(nullptr);
@@ -153,8 +153,10 @@ SmtSystem::registerStats()
         for (auto v : reads)
             total += v;
         if (total > 0) {
+            // Round to nearest, matching run()'s bandwidthShareHist;
+            // truncation biases every thread's share low.
             for (auto v : reads)
-                h.sample(100 * v / total);
+                h.sample((100 * v + total / 2) / total);
         }
         return h;
     });
@@ -292,8 +294,15 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     const std::uint32_t n = config_.core.numThreads;
 
     auto all_committed = [this, n](std::uint64_t target,
+                                   std::uint64_t grand_base,
                                    const std::vector<std::uint64_t>
                                        &base) {
+        // Cheap necessary condition first: the grand total must reach
+        // n*target before every thread possibly has, so most cycles
+        // skip the per-thread scan entirely.
+        if (core_->totalCommittedInsts() - grand_base <
+            static_cast<std::uint64_t>(n) * target)
+            return false;
         for (ThreadId t = 0; t < n; ++t) {
             if (core_->perf(t).committedInsts - base[t] < target)
                 return false;
@@ -310,12 +319,10 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
 
     // ---- Warm-up phase (caches, predictor, DRAM state) ----
     std::vector<std::uint64_t> zero(n, 0);
-    std::uint64_t last_total = 0;
-    while (!all_committed(warmup_insts, zero)) {
+    std::uint64_t last_total = core_->totalCommittedInsts();
+    while (!all_committed(warmup_insts, 0, zero)) {
         stepCycle();
-        std::uint64_t total = 0;
-        for (ThreadId t = 0; t < n; ++t)
-            total += core_->perf(t).committedInsts;
+        const std::uint64_t total = core_->totalCommittedInsts();
         if (total != last_total) {
             last_total = total;
             watchdog.kick(now_);
@@ -337,6 +344,7 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
         base_branches += core_->perf(t).branches;
         base_mispredicts += core_->perf(t).mispredicts;
     }
+    const std::uint64_t grand_base = core_->totalCommittedInsts();
     const Cycle start = now_;
     const std::uint64_t int_issue_base = core_->intIssueActiveCycles();
 
@@ -346,7 +354,7 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     std::vector<Cycle> finish(n, 0);
 
     // ---- Measured phase ----
-    while (!all_committed(measure_insts, base)) {
+    while (!all_committed(measure_insts, grand_base, base)) {
         stepCycle();
 
         // Observability epoch boundary (off unless epoch > 0).
@@ -365,16 +373,19 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
                     dram_->distinctThreadsOutstanding());
         }
 
-        std::uint64_t total = 0;
-        for (ThreadId t = 0; t < n; ++t) {
-            const std::uint64_t done =
-                core_->perf(t).committedInsts - base[t];
-            total += done;
-            if (finish[t] == 0 && done >= measure_insts)
-                finish[t] = now_;
-        }
+        // Per-thread finish times only move on a cycle where some
+        // thread committed, i.e. when the grand total moved — exact,
+        // since the counters are monotonic.  Most cycles take only
+        // this one comparison.
+        const std::uint64_t total = core_->totalCommittedInsts();
         if (total != last_total) {
             last_total = total;
+            for (ThreadId t = 0; t < n; ++t) {
+                if (finish[t] == 0 &&
+                    core_->perf(t).committedInsts - base[t] >=
+                        measure_insts)
+                    finish[t] = now_;
+            }
             watchdog.kick(now_);
         }
         watchdog.checkOrDie(now_, dump);
@@ -423,8 +434,12 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     for (auto v : res.perThreadReads)
         reads_total += v;
     if (reads_total > 0) {
+        // Round to nearest: plain truncation systematically biases
+        // every share low (four perfectly fair threads each report
+        // 24% instead of 25%).
         for (auto v : res.perThreadReads)
-            res.bandwidthShareHist.sample(100 * v / reads_total);
+            res.bandwidthShareHist.sample(
+                (100 * v + reads_total / 2) / reads_total);
     }
 
     exportObservability();

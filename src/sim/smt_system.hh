@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/stats_registry.hh"
 #include "common/trace_event.hh"
@@ -130,7 +131,7 @@ class SmtSystem
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<StatsRegistry> registry_;
     Cycle lastEpochAt_ = 0;
-    bool panicHookSet_ = false;
+    PanicHookHandle panicHook_ = 0;
 };
 
 } // namespace smtdram

@@ -1,0 +1,112 @@
+/** @file Unit tests for the fixed-size worker pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/thread_pool.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsABarrier)
+{
+    ThreadPool pool(2);
+    std::atomic<int> slow_done{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&slow_done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            ++slow_done;
+        });
+    }
+    pool.wait();
+    // After wait() returns, every task has finished — not just been
+    // dequeued.
+    EXPECT_EQ(slow_done.load(), 8);
+    EXPECT_EQ(pool.queued(), 0u);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(3);
+    pool.wait();  // must not hang
+    SUCCEED();
+}
+
+TEST(ThreadPool, PoolIsReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): the destructor must run everything, then join.
+    }
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, UsesMultipleWorkerThreads)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    std::mutex mu;
+    std::set<std::thread::id> seen;
+    std::atomic<int> rendezvous{0};
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([&] {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                seen.insert(std::this_thread::get_id());
+            }
+            // Hold each worker until all four tasks have started, so
+            // four distinct threads must pick one up each.
+            ++rendezvous;
+            while (rendezvous.load() < 4)
+                std::this_thread::yield();
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ThreadPool, DefaultWorkersIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+}
+
+TEST(ThreadPoolDeathTest, ZeroWorkersIsFatal)
+{
+    EXPECT_EXIT(ThreadPool(0), testing::ExitedWithCode(1), "worker");
+}
+
+} // namespace
+} // namespace smtdram

@@ -145,6 +145,60 @@ TEST(DramSystem, CompletionOrderIsByTime)
         EXPECT_LE(completions[i - 1], completions[i]);
 }
 
+TEST(DramSystem, IdleAtTracksOutstandingWork)
+{
+    DramSystem sys = makeSystem();
+    EXPECT_TRUE(sys.idleAt(0));
+    EXPECT_TRUE(sys.idleAt(10'000'000));
+
+    sys.enqueueRead(0, 0, {}, 0);
+    EXPECT_FALSE(sys.idleAt(0));
+    drain(sys, 5000);
+    EXPECT_TRUE(sys.idleAt(5000));
+}
+
+TEST(DramSystem, IdleTicksAreNoOpsAroundRealWork)
+{
+    // A long idle gap (fast-pathed ticks) must not perturb how the
+    // next request is served.
+    DramSystem gap = makeSystem();
+    for (Cycle now = 1; now <= 100'000; ++now)
+        gap.tick(now);
+    Cycle gap_completion = 0;
+    gap.setReadCallback([&](const DramRequest &req) {
+        gap_completion = req.completion - req.arrival;
+    });
+    gap.enqueueRead(0, 0, {}, 100'001);
+    for (Cycle now = 100'001; now <= 105'000 && gap.busy(); ++now)
+        gap.tick(now);
+
+    DramSystem fresh = makeSystem();
+    Cycle fresh_completion = 0;
+    fresh.setReadCallback([&](const DramRequest &req) {
+        fresh_completion = req.completion - req.arrival;
+    });
+    fresh.enqueueRead(0, 0, {}, 1);
+    for (Cycle now = 1; now <= 5000 && fresh.busy(); ++now)
+        fresh.tick(now);
+
+    EXPECT_GT(gap_completion, 0u);
+    EXPECT_EQ(gap_completion, fresh_completion);
+}
+
+TEST(DramSystem, NeverIdleWhileScrubIsDue)
+{
+    DramConfig config = DramConfig::ddrSdram(1);
+    config.ecc.enabled = true;
+    config.ecc.scrubInterval = 500;
+    config.ecc.scrubBurst = 1;
+    DramSystem sys(config, SchedulerKind::HitFirst);
+    // The staggered first burst lands at the end of one interval.
+    EXPECT_FALSE(sys.idleAt(500));
+    sys.tick(500);  // injects the burst
+    EXPECT_FALSE(sys.idleAt(501));  // scrub read now queued
+    drain(sys, 5000);
+}
+
 TEST(DramSystem, SnapshotTravelsWithRequest)
 {
     DramSystem sys = makeSystem();

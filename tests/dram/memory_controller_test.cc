@@ -323,5 +323,87 @@ TEST(MemoryController, RowMissRateDefinition)
     EXPECT_NEAR(s.rowMissRate(), 0.4, 1e-12);
 }
 
+TEST(MemoryController, WriteDrainLatchSurvivesBookedBusWindow)
+{
+    // Pins the invariant behind evaluating the write-drain hysteresis
+    // before the bus-lead early-out in tryIssue(): writes that cross
+    // the high watermark while the bus is booked far ahead must still
+    // be drained once the bus frees.  Writes only leave the queue by
+    // issuing, which cannot happen during the early-out, so the latch
+    // state at the first post-window evaluation is the same whether
+    // the watermark check runs before or after the early-out.
+    DramConfig config = singleChannelDdr();
+    config.writeHighWatermark = 3;
+    config.writeLowWatermark = 0;
+    MemoryController mc(config, SchedulerKind::HitFirst);
+    AddressMapping mapping(config);
+
+    // Same-row reads book the data bus back to back.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        mc.enqueue(makeRead(config, i + 1, i * 64, 0));
+    for (Cycle now = 0; now < 50; ++now) {
+        std::vector<DramRequest> done;
+        mc.tick(now, done);
+    }
+    // Mid-window: the write queue crosses the high watermark while
+    // the early-out is active.
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        DramRequest wr;
+        wr.id = 100 + i;
+        wr.op = MemOp::Write;
+        wr.addr = (1 << 20) + i * 64;
+        wr.arrival = 50;
+        wr.coord = mapping.map(wr.addr);
+        mc.enqueue(wr);
+    }
+    std::vector<DramRequest> done = drain(mc, 50, 10000);
+    EXPECT_EQ(mc.stats().writes, 3u);
+    EXPECT_EQ(mc.stats().reads, 4u);
+    EXPECT_FALSE(mc.busy());
+}
+
+TEST(MemoryController, IdleAtReflectsQueuesAndFlight)
+{
+    const DramConfig config = singleChannelDdr();
+    MemoryController mc(config, SchedulerKind::Fcfs);
+    EXPECT_TRUE(mc.idleAt(0));
+    EXPECT_TRUE(mc.idleAt(1'000'000));
+
+    mc.enqueue(makeRead(config, 1, 0, 0));
+    EXPECT_FALSE(mc.idleAt(0));
+    std::vector<DramRequest> done;
+    mc.tick(0, done);  // request now in flight
+    EXPECT_FALSE(mc.idleAt(1));
+    drain(mc, 1, 1000);
+    EXPECT_TRUE(mc.idleAt(1000));
+}
+
+TEST(MemoryController, IdleAtFalseWhileRefreshDue)
+{
+    DramConfig config = singleChannelDdr().withRefresh(1000, 120);
+    MemoryController mc(config, SchedulerKind::Fcfs);
+    // Bank deadlines are staggered through one tREFI; before the
+    // first is due the controller is idle, at/after it is not.
+    EXPECT_TRUE(mc.idleAt(0));
+    EXPECT_FALSE(mc.idleAt(1000));
+    // Ticking services the refresh and re-arms the next deadline.
+    std::vector<DramRequest> done;
+    mc.tick(1000, done);
+    EXPECT_TRUE(mc.idleAt(1001));
+}
+
+TEST(MemoryController, IdleAtFalseWithFaultInjectionActive)
+{
+    // The injector draws from its RNG every tick; skipping ticks
+    // would desynchronize the fault stream, so an injecting
+    // controller never reports idle.
+    DramConfig config = singleChannelDdr();
+    config.faults.enabled = true;
+    config.faults.busStallProbability = 0.001;
+    config.faults.busStallCycles = 12;
+    MemoryController mc(config, SchedulerKind::Fcfs);
+    EXPECT_FALSE(mc.idleAt(0));
+}
+
 } // namespace
 } // namespace smtdram

@@ -1,0 +1,187 @@
+/** @file Unit tests for the parallel experiment runner. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/parallel_runner.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+const ExperimentParams kSmall{2000, 500, 42};
+
+/** Bit-exact equality across every figure-visible MixRun metric. */
+void
+expectIdenticalMixRuns(const MixRun &a, const MixRun &b)
+{
+    // Doubles compared with ==: the determinism contract is
+    // byte-identical results, not merely close ones.
+    EXPECT_EQ(a.weightedSpeedup, b.weightedSpeedup);
+    EXPECT_EQ(a.run.measuredCycles, b.run.measuredCycles);
+    EXPECT_EQ(a.run.ipc, b.run.ipc);
+    EXPECT_EQ(a.run.committed, b.run.committed);
+    EXPECT_EQ(a.run.rowMissRate, b.run.rowMissRate);
+    EXPECT_EQ(a.run.memAccessPer100, b.run.memAccessPer100);
+    EXPECT_EQ(a.run.dram.reads, b.run.dram.reads);
+    EXPECT_EQ(a.run.dram.writes, b.run.dram.writes);
+    EXPECT_EQ(a.run.dram.rowHits, b.run.dram.rowHits);
+    EXPECT_EQ(a.run.dram.rowConflicts, b.run.dram.rowConflicts);
+    EXPECT_EQ(a.run.dram.busBusyCycles, b.run.dram.busBusyCycles);
+    EXPECT_EQ(a.run.dram.readLatency.count(),
+              b.run.dram.readLatency.count());
+    EXPECT_EQ(a.run.dram.readLatency.mean(),
+              b.run.dram.readLatency.mean());
+    EXPECT_EQ(a.run.perThreadReads, b.run.perThreadReads);
+    EXPECT_EQ(a.readLatencyP50, b.readLatencyP50);
+    EXPECT_EQ(a.readLatencyP99, b.readLatencyP99);
+    EXPECT_EQ(a.correctedErrors, b.correctedErrors);
+    EXPECT_EQ(a.retriesExhausted, b.retriesExhausted);
+}
+
+TEST(ParallelRunner, SerialPathMatchesExperimentContext)
+{
+    const WorkloadMix &mix = mixByName("2-MIX");
+    const SystemConfig config = SystemConfig::paperDefault(2);
+
+    ExperimentContext ctx(kSmall.measureInsts, kSmall.warmupInsts,
+                          kSmall.seed);
+    const MixRun serial = ctx.runMix(config, mix);
+
+    ParallelExperimentRunner runner(kSmall, 1);
+    const std::size_t id = runner.submitMix(config, mix);
+    runner.run();
+    expectIdenticalMixRuns(runner.mixResult(id), serial);
+}
+
+TEST(ParallelRunner, ParallelIsByteIdenticalToSerialAllSchedulers)
+{
+    // The tentpole determinism claim: a --jobs 8 sweep over every
+    // Figure 10 scheduler returns exactly what --jobs 1 returns.
+    const WorkloadMix &mix = mixByName("2-MEM");
+
+    auto sweep = [&](unsigned jobs) {
+        ParallelExperimentRunner runner(kSmall, jobs);
+        std::vector<std::size_t> ids;
+        for (SchedulerKind kind : allSchedulerKinds()) {
+            SystemConfig config = SystemConfig::paperDefault(2);
+            config.scheduler = kind;
+            ids.push_back(runner.submitMix(config, mix));
+        }
+        runner.run();
+        std::vector<MixRun> out;
+        for (std::size_t id : ids)
+            out.push_back(runner.mixResult(id));
+        return out;
+    };
+
+    const std::vector<MixRun> serial = sweep(1);
+    const std::vector<MixRun> parallel = sweep(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("scheduler index " + std::to_string(i));
+        expectIdenticalMixRuns(parallel[i], serial[i]);
+    }
+}
+
+TEST(ParallelRunner, BaselinesSimulateExactlyOncePerKey)
+{
+    // Four mixes over two apps each, all sharing the reference
+    // baseline config: the number of alone-IPC simulations must be
+    // the number of distinct apps, not the number of (mix, app)
+    // requests.
+    ParallelExperimentRunner runner(kSmall, 4);
+    const WorkloadMix &mix = mixByName("2-MIX");  // gzip + mcf
+    for (SchedulerKind kind :
+         {SchedulerKind::Fcfs, SchedulerKind::HitFirst,
+          SchedulerKind::AgeBased, SchedulerKind::RequestBased}) {
+        SystemConfig config = SystemConfig::paperDefault(2);
+        config.scheduler = kind;
+        runner.submitMix(config, mix);
+    }
+    runner.run();
+    EXPECT_EQ(runner.baselineSimulations(), 2u);
+}
+
+TEST(ParallelRunner, PerConfigBaselinesAddKeys)
+{
+    ParallelExperimentRunner runner(kSmall, 2);
+    const WorkloadMix &mix = mixByName("2-MIX");
+    const SystemConfig config = SystemConfig::paperDefault(2);
+    const std::size_t fixed = runner.submitMix(config, mix, false);
+    const std::size_t per_config =
+        runner.submitMix(config.withInfiniteL3(), mix, true);
+    runner.run();
+    // 2 reference baselines + 2 infinite-L3 baselines.
+    EXPECT_EQ(runner.baselineSimulations(), 4u);
+    // An infinite L3 must not *hurt*; with its own (faster) baselines
+    // the weighted speedup is computed against a taller denominator.
+    EXPECT_GT(runner.mixResult(fixed).weightedSpeedup, 0.0);
+    EXPECT_GT(runner.mixResult(per_config).weightedSpeedup, 0.0);
+}
+
+TEST(ParallelRunner, CpiBreakdownMatchesSerialHelper)
+{
+    const CpiBreakdown direct = measureCpiBreakdown(
+        "gzip", kSmall.measureInsts, kSmall.warmupInsts, kSmall.seed);
+
+    ParallelExperimentRunner runner(kSmall, 3);
+    const std::size_t id = runner.submitCpiBreakdown("gzip");
+    runner.run();
+    const CpiBreakdown &r = runner.cpiResult(id);
+    EXPECT_EQ(r.overall, direct.overall);
+    EXPECT_EQ(r.proc, direct.proc);
+    EXPECT_EQ(r.l2, direct.l2);
+    EXPECT_EQ(r.l3, direct.l3);
+    EXPECT_EQ(r.mem, direct.mem);
+}
+
+TEST(ParallelRunner, FirstErrorPropagatesBySubmissionIndex)
+{
+    ParallelExperimentRunner runner(kSmall, 4);
+    const SystemConfig two = SystemConfig::paperDefault(2);
+    const SystemConfig four = SystemConfig::paperDefault(4);
+    runner.submitMix(two, mixByName("2-ILP"));          // fine
+    runner.submitMix(four, mixByName("2-MEM"));         // broken (#1)
+    runner.submitMix(two, mixByName("4-MIX"));          // broken (#2)
+    try {
+        runner.run();
+        FAIL() << "run() should rethrow the first job error";
+    } catch (const std::invalid_argument &e) {
+        // Lowest submission index wins, regardless of wall-clock
+        // finish order: the 4-thread-config/2-app mismatch.
+        EXPECT_NE(std::string(e.what()).find("2-MEM"),
+                  std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+TEST(ParallelRunner, RunIsIncremental)
+{
+    ParallelExperimentRunner runner(kSmall, 2);
+    const WorkloadMix &mix = mixByName("2-ILP");
+    const SystemConfig config = SystemConfig::paperDefault(2);
+    const std::size_t first = runner.submitMix(config, mix);
+    runner.run();
+    const MixRun snapshot = runner.mixResult(first);
+    const std::size_t second = runner.submitMix(config, mix);
+    runner.run();
+    // Earlier results survive later runs; identical submissions give
+    // identical results.
+    expectIdenticalMixRuns(runner.mixResult(first), snapshot);
+    expectIdenticalMixRuns(runner.mixResult(second), snapshot);
+    EXPECT_EQ(runner.submitted(), 2u);
+}
+
+TEST(ParallelRunner, ZeroJobsClampsToSerial)
+{
+    ParallelExperimentRunner runner(kSmall, 0);
+    EXPECT_EQ(runner.jobs(), 1u);
+}
+
+} // namespace
+} // namespace smtdram
