@@ -21,6 +21,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declarePowerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -47,6 +48,7 @@ main(int argc, char **argv)
         auto submit = [&](auto tweak) {
             SystemConfig config = SystemConfig::paperDefault(threads);
             tweak(config);
+            applyPowerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             return runner.submitMix(config, mix);
         };

@@ -75,6 +75,39 @@ declareRobustnessFlags(Flags &flags)
 }
 
 /**
+ * Declare the DRAM power-management knobs.  Energy metering is always
+ * on (and timing-neutral); these flags opt the per-rank low-power
+ * state machine in, which does change timing, so everything defaults
+ * to off and figure output stays bit-for-bit without a flag.
+ */
+inline void
+declarePowerFlags(Flags &flags)
+{
+    flags.declare("power", "false",
+                  "enable the per-rank low-power state machine "
+                  "(powerdown/self-refresh with exit penalties)");
+    flags.declare("power-pd-idle", "96",
+                  "idle cycles before a rank enters fast-exit "
+                  "powerdown");
+    flags.declare("power-slow-idle", "1024",
+                  "idle cycles before it drops to slow-exit powerdown");
+    flags.declare("power-sr-idle", "8192",
+                  "idle cycles before it enters self-refresh");
+}
+
+/** Apply the power flags to @p config's DRAM subsystem. */
+inline void
+applyPowerFlags(const Flags &flags, SystemConfig &config)
+{
+    if (flags.getBool("power")) {
+        config.dram.withPowerManagement(
+            static_cast<Cycle>(flags.getInt("power-pd-idle")),
+            static_cast<Cycle>(flags.getInt("power-slow-idle")),
+            static_cast<Cycle>(flags.getInt("power-sr-idle")));
+    }
+}
+
+/**
  * Declare the observability knobs shared by every bench.  All
  * default off: with no flag given the bench emits nothing extra and
  * its figure output is bit-identical to an uninstrumented build.

@@ -42,6 +42,7 @@ runSweep(const Flags &flags, const std::vector<std::string> &mixes,
             SystemConfig config = SystemConfig::paperDefault(threads);
             config.scheduler = scheduler;
             applyRobustnessFlags(flags, config);
+            applyPowerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }
@@ -66,6 +67,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declarePowerFlags(flags);
     declareRobustnessFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);

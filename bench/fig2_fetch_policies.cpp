@@ -16,6 +16,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declarePowerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -42,6 +43,7 @@ main(int argc, char **argv)
             SystemConfig config = SystemConfig::paperDefault(
                 static_cast<std::uint32_t>(mix.apps.size()));
             config.core.fetchPolicy = policy;
+            applyPowerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }

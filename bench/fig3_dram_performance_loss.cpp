@@ -20,6 +20,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declarePowerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -66,6 +67,7 @@ main(int argc, char **argv)
 
         SystemConfig dwarn = SystemConfig::paperDefault(threads);
         dwarn.core.fetchPolicy = FetchPolicyKind::DWarn;
+        applyPowerFlags(flags, dwarn);
         applyObservabilityFlags(flags, dwarn);
 
         MixIds id;

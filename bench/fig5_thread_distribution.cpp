@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declarePowerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -37,6 +38,7 @@ main(int argc, char **argv)
         const WorkloadMix &mix = mixByName(mix_name);
         SystemConfig config = SystemConfig::paperDefault(
             static_cast<std::uint32_t>(mix.apps.size()));
+        applyPowerFlags(flags, config);
         applyObservabilityFlags(flags, config);
         ids.push_back(runner.submitMix(config, mix));
     }

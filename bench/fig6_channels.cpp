@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declarePowerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -45,6 +46,7 @@ main(int argc, char **argv)
             const MappingScheme mapping = config.dram.mapping;
             config.dram = DramConfig::ddrSdram(channels);
             config.dram.mapping = mapping;
+            applyPowerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }

@@ -18,6 +18,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declarePowerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -59,6 +60,7 @@ main(int argc, char **argv)
             const MappingScheme mapping = config.dram.mapping;
             config.dram = DramConfig::ddrSdram(o.channels, o.gang);
             config.dram.mapping = mapping;
+            applyPowerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }

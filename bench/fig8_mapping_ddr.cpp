@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declarePowerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -43,6 +44,7 @@ main(int argc, char **argv)
              {MappingScheme::PageInterleave, MappingScheme::XorPermute}) {
             SystemConfig config = SystemConfig::paperDefault(threads);
             config.dram.mapping = scheme;
+            applyPowerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }

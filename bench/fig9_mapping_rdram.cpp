@@ -16,6 +16,7 @@ main(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
+    declarePowerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.declare("chips", "4", "RDRAM devices per channel");
@@ -46,6 +47,7 @@ main(int argc, char **argv)
             SystemConfig config = SystemConfig::paperDefault(threads);
             config.dram = DramConfig::directRambus(2, chips);
             config.dram.mapping = scheme;
+            applyPowerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }

@@ -281,6 +281,39 @@ BM_EccScrub(benchmark::State &state)
 BENCHMARK(BM_EccScrub)->DenseRange(0, 5)->Iterations(150'000);
 
 /**
+ * Power-subsystem overhead: BM_SimThroughput's workload with the
+ * low-power state machine off (arg 0, the always-on metering only)
+ * vs. on (arg 1).  The metering row must stay within a few percent of
+ * BM_SimThroughput — energy accounting is pure arithmetic on events
+ * that already happen and the lazy state machine does no per-cycle
+ * work, so neither row may tax the per-cycle kernel.
+ */
+void
+BM_PowerOverhead(benchmark::State &state)
+{
+    const bool machine_on = state.range(0) != 0;
+    SystemConfig config = SystemConfig::paperDefault(2);
+    if (machine_on)
+        config.dram.withPowerManagement();
+    std::vector<AppProfile> apps = {specProfile("mcf"),
+                                    specProfile("swim")};
+    std::uint64_t cycles = 0;
+    double energy = 0.0;
+    for (auto _ : state) {
+        SmtSystem system(config, apps, 42);
+        const RunResult r = system.run(4'000, 1'000);
+        cycles += r.measuredCycles;
+        energy += r.power.totalEnergy;
+        benchmark::DoNotOptimize(r.measuredCycles);
+    }
+    state.SetLabel(machine_on ? "machine-on" : "metering-only");
+    state.counters["sim_cycles_per_sec"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    state.counters["energy_nj"] = energy;
+}
+BENCHMARK(BM_PowerOverhead)->Arg(0)->Arg(1);
+
+/**
  * Whole-simulator throughput: simulated cycles per wall-clock second
  * on a small 2-thread memory-bound mix.  This is the number the
  * per-cycle kernel optimizations (candidate scratch reuse, positional

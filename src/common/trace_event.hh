@@ -56,6 +56,17 @@ traceTidBank(std::uint32_t bank)
     return 2 + static_cast<int>(bank);
 }
 
+/**
+ * tid of rank @p rank's power-state track within a channel's group.
+ * Offset far past the bank tids (RDRAM organizations reach 128 banks
+ * per channel) so the tracks can never collide.
+ */
+inline constexpr int
+traceTidRankPower(std::uint32_t rank)
+{
+    return 512 + static_cast<int>(rank);
+}
+
 /** Buffered trace-event writer.  Not thread-safe (the sim is serial). */
 class Tracer
 {

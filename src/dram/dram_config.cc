@@ -79,6 +79,59 @@ DramConfig::validate() const
                  (unsigned long long)ecc.checkOverheadCycles,
                  (unsigned long long)lineTransferCycles());
     }
+    // Electrical parameters feed the always-on accounting, so they
+    // are checked whether or not the state machine is enabled.
+    fatal_if(power.vdd <= 0.0, "DRAM supply voltage must be positive");
+    fatal_if(power.idd0 < 0.0 || power.idd2n < 0.0 ||
+                 power.idd2p < 0.0 || power.idd3n < 0.0 ||
+                 power.idd3p < 0.0 || power.idd4r < 0.0 ||
+                 power.idd4w < 0.0 || power.idd5 < 0.0 ||
+                 power.idd6 < 0.0,
+             "IDD currents cannot be negative");
+    fatal_if(power.idd0 < power.idd3n,
+             "IDD0 (%g mA) below IDD3N (%g mA): an ACT-PRE cycle "
+             "cannot draw less than active standby",
+             power.idd0, power.idd3n);
+    fatal_if(power.idd4r < power.idd3n || power.idd4w < power.idd3n,
+             "burst currents below active standby (IDD4R %g / IDD4W "
+             "%g vs IDD3N %g mA)",
+             power.idd4r, power.idd4w, power.idd3n);
+    fatal_if(power.idd5 < power.idd3n,
+             "IDD5 (%g mA) below IDD3N (%g mA): a refresh burst "
+             "cannot draw less than active standby",
+             power.idd5, power.idd3n);
+    fatal_if(power.idd2p > power.idd2n || power.idd3p > power.idd3n,
+             "powerdown currents exceed their standby counterparts; "
+             "powering down would cost energy");
+    fatal_if(power.idd6 > power.idd2p,
+             "self-refresh current IDD6 (%g mA) exceeds slow-exit "
+             "powerdown IDD2P (%g mA); the deepest state must draw "
+             "the least",
+             power.idd6, power.idd2p);
+    if (power.enabled) {
+        fatal_if(power.powerdownIdle == 0,
+                 "powerdown idle threshold of 0 would power a rank "
+                 "down in the middle of back-to-back accesses");
+        fatal_if(power.powerdownIdle >= power.slowExitIdle ||
+                     power.slowExitIdle >= power.selfRefreshIdle,
+                 "low-power idle thresholds must strictly deepen: "
+                 "powerdown %llu < slow-exit %llu < self-refresh %llu",
+                 (unsigned long long)power.powerdownIdle,
+                 (unsigned long long)power.slowExitIdle,
+                 (unsigned long long)power.selfRefreshIdle);
+        fatal_if(power.exitFast == 0 || power.exitSlow == 0 ||
+                     power.exitSelfRefresh == 0,
+                 "low-power exit latencies cannot be 0; a free exit "
+                 "makes the state machine a pure win and the "
+                 "comparison meaningless");
+        fatal_if(power.exitFast > power.exitSlow ||
+                     power.exitSlow > power.exitSelfRefresh,
+                 "exit latencies must deepen with the state: fast "
+                 "%llu <= slow %llu <= self-refresh %llu",
+                 (unsigned long long)power.exitFast,
+                 (unsigned long long)power.exitSlow,
+                 (unsigned long long)power.exitSelfRefresh);
+    }
 }
 
 std::string

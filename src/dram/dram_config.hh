@@ -164,6 +164,58 @@ struct EccConfig {
 };
 
 /**
+ * DRAM power/energy modeling parameters.
+ *
+ * The electrical half — datasheet currents (mA) and the device supply
+ * voltage — feeds the always-on energy accounting and never affects
+ * timing, so it is inert with respect to the golden figures and is
+ * excluded from configSignature().  Defaults approximate a 256 Mb
+ * DDR-400 x16 device (Micron-class datasheet values).
+ *
+ * The behavioral half — `enabled` plus the idle thresholds and exit
+ * latencies — opts a per-rank low-power state machine in (active ->
+ * precharge powerdown fast/slow exit -> self-refresh).  It DOES
+ * change timing: waking a rank charges the state's exit latency to
+ * the next command, powerdown entry closes open rows, and
+ * self-refresh suppresses tREFI deadlines.  Off by default, so
+ * default results stay bit-identical.
+ */
+struct PowerConfig {
+    /** Opt-in low-power state machine (timing-relevant). */
+    bool enabled = false;
+
+    // --- electrical parameters (always metered, timing-neutral) ---
+    double vdd = 2.6;    ///< device supply voltage, V
+    double idd0 = 110.0; ///< ACT-PRE cycling current, mA
+    double idd2n = 35.0; ///< precharge standby, mA
+    double idd2p = 7.0;  ///< precharge powerdown slow exit, mA
+    double idd3n = 45.0; ///< active standby, mA
+    double idd3p = 20.0; ///< powerdown fast exit, mA
+    double idd4r = 150.0; ///< read burst, mA
+    double idd4w = 140.0; ///< write burst, mA
+    double idd5 = 220.0; ///< refresh burst, mA
+    double idd6 = 3.0;   ///< self-refresh, mA
+
+    // --- state machine knobs (timing-relevant when enabled) ---
+    /** Idle cycles before a rank enters fast-exit powerdown. */
+    Cycle powerdownIdle = 96;
+    /** Idle cycles before it drops to slow-exit powerdown. */
+    Cycle slowExitIdle = 1024;
+    /** Idle cycles before it enters self-refresh. */
+    Cycle selfRefreshIdle = 8192;
+    Cycle exitFast = 18;         ///< tXP at the core clock
+    Cycle exitSlow = 60;         ///< tXPDLL at the core clock
+    Cycle exitSelfRefresh = 540; ///< tXSNR at the core clock
+
+    /** True when the low-power state machine can change timing. */
+    bool
+    active() const
+    {
+        return enabled;
+    }
+};
+
+/**
  * Full configuration of one DRAM memory system.
  *
  * Physical channels are grouped into logical channels of `gangDegree`
@@ -195,6 +247,8 @@ struct DramConfig {
     FaultConfig faults;
     /** SECDED ECC configuration (inert unless enabled). */
     EccConfig ecc;
+    /** Power model (accounting always on; state machine opt-in). */
+    PowerConfig power;
     /**
      * Shadow conservation checker: asserts every enqueued request
      * completes exactly once and none ages past checkerMaxAge.
@@ -276,6 +330,19 @@ struct DramConfig {
         ecc.correctableProbability = correctable_prob;
         ecc.uncorrectableProbability = uncorrectable_prob;
         ecc.scrubInterval = scrub_interval;
+        return *this;
+    }
+
+    /** Enable the low-power state machine (chainable). */
+    DramConfig &
+    withPowerManagement(Cycle powerdown_idle = 96,
+                        Cycle slow_exit_idle = 1024,
+                        Cycle self_refresh_idle = 8192)
+    {
+        power.enabled = true;
+        power.powerdownIdle = powerdown_idle;
+        power.slowExitIdle = slow_exit_idle;
+        power.selfRefreshIdle = self_refresh_idle;
         return *this;
     }
 

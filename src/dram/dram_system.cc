@@ -180,6 +180,16 @@ DramSystem::tick(Cycle now)
     if (checker_ && now - lastAgeCheck_ >= kAgeCheckPeriod) {
         lastAgeCheck_ = now;
         checker_->checkAges(now);
+        // The checker's live set must equal what the queues (read,
+        // write, scrub, in-flight) actually hold — scrub requests
+        // included; a drift means a request leaked past one side.
+        if (checker_->outstanding() != outstandingRequests()) {
+            dumpState(std::cerr);
+            panic("conservation drift: checker tracks %llu live "
+                  "requests but the queues hold %zu",
+                  (unsigned long long)checker_->outstanding(),
+                  outstandingRequests());
+        }
     }
 }
 
@@ -295,11 +305,69 @@ DramSystem::aggregateFaultStats() const
     return agg;
 }
 
+PowerStats
+DramSystem::aggregatePowerStats() const
+{
+    PowerStats agg;
+    for (const auto &mc : controllers_) {
+        const PowerStats &p = mc.powerStats();
+        agg.backgroundEnergy += p.backgroundEnergy;
+        agg.activateEnergy += p.activateEnergy;
+        agg.readEnergy += p.readEnergy;
+        agg.writeEnergy += p.writeEnergy;
+        agg.refreshEnergy += p.refreshEnergy;
+        agg.scrubEnergy += p.scrubEnergy;
+        agg.totalEnergy += p.totalEnergy;
+        agg.powerdownEntries += p.powerdownEntries;
+        agg.powerdownExits += p.powerdownExits;
+        agg.selfRefreshEntries += p.selfRefreshEntries;
+        agg.selfRefreshExits += p.selfRefreshExits;
+        agg.exitPenaltyCycles += p.exitPenaltyCycles;
+        agg.refreshesSuppressed += p.refreshesSuppressed;
+        agg.entryPrecharges += p.entryPrecharges;
+        agg.activeCycles += p.activeCycles;
+        agg.powerdownFastCycles += p.powerdownFastCycles;
+        agg.powerdownSlowCycles += p.powerdownSlowCycles;
+        agg.selfRefreshCycles += p.selfRefreshCycles;
+        agg.lowPowerSpanHist.merge(p.lowPowerSpanHist);
+    }
+    return agg;
+}
+
+const PowerStats &
+DramSystem::channelPowerStats(std::uint32_t channel) const
+{
+    panic_if(channel >= controllers_.size(), "channel %u out of range",
+             channel);
+    return controllers_[channel].powerStats();
+}
+
+double
+DramSystem::rankEnergy(std::uint32_t channel, std::uint32_t rank) const
+{
+    panic_if(channel >= controllers_.size(), "channel %u out of range",
+             channel);
+    return controllers_[channel].rankEnergy(rank);
+}
+
+std::uint32_t
+DramSystem::powerRanks() const
+{
+    return controllers_.empty() ? 0 : controllers_.front().powerRanks();
+}
+
 void
-DramSystem::resetStats()
+DramSystem::syncPower(Cycle now)
 {
     for (auto &mc : controllers_)
-        mc.resetStats();
+        mc.syncPower(now);
+}
+
+void
+DramSystem::resetStats(Cycle now)
+{
+    for (auto &mc : controllers_)
+        mc.resetStats(now);
     std::fill(perThreadReads_.begin(), perThreadReads_.end(), 0);
 }
 
@@ -327,6 +395,10 @@ DramSystem::dumpState(std::ostream &os) const
            << " completed=" << checker_->completed()
            << " live=" << checker_->outstanding() << "}";
     }
+    const PowerStats pagg = aggregatePowerStats();
+    os << " power{totalNj=" << pagg.totalEnergy
+       << " pdEntries=" << pagg.powerdownEntries
+       << " srEntries=" << pagg.selfRefreshEntries << "}";
     os << "\n";
     for (const auto &mc : controllers_)
         mc.dumpState(os);

@@ -104,7 +104,28 @@ class DramSystem
     /** Sum of all per-channel injected-fault stats. */
     FaultStats aggregateFaultStats() const;
 
-    void resetStats();
+    /** Sum of all per-channel energy/power stats. */
+    PowerStats aggregatePowerStats() const;
+
+    /** One channel's energy/power stats. */
+    const PowerStats &channelPowerStats(std::uint32_t channel) const;
+
+    /** Energy attributed to rank @p rank of channel @p channel, nJ. */
+    double rankEnergy(std::uint32_t channel, std::uint32_t rank) const;
+
+    /** Ranks per channel (chip groups the power model tracks). */
+    std::uint32_t powerRanks() const;
+
+    /**
+     * Bring every channel's background-energy accounting current to
+     * cycle @p now.  Call before reading power stats; pure
+     * bookkeeping, never changes timing.
+     */
+    void syncPower(Cycle now);
+
+    /** @param now stats-boundary cycle; anchors background-energy
+     *         accounting for the new measurement window. */
+    void resetStats(Cycle now = 0);
 
     /**
      * Attach a lifecycle tracer (not owned; nullptr detaches) and

@@ -44,7 +44,9 @@ MemoryController::MemoryController(const DramConfig &config,
       // scheduling decisions late.
       maxBusLead_(config.timing.precharge + config.timing.rowAccess +
                   config.timing.columnAccess +
-                  2 * config.burstCycles())
+                  2 * config.burstCycles()),
+      power_(config),
+      rankPower_(config, channel)
 {
     config_.validate();
     if (config_.refreshEnabled()) {
@@ -73,6 +75,12 @@ MemoryController::setTracer(Tracer *tracer)
         tracer_->nameThread(pid,
                             traceTidBank(static_cast<std::uint32_t>(b)),
                             "bank" + std::to_string(b));
+    }
+    if (rankPower_.machineActive()) {
+        for (std::uint32_t r = 0; r < rankPower_.ranks(); ++r) {
+            tracer_->nameThread(pid, traceTidRankPower(r),
+                                "rank" + std::to_string(r) + ".power");
+        }
     }
 }
 
@@ -231,11 +239,52 @@ MemoryController::tryIssue(Cycle now)
     launch(std::move(req), now);
 }
 
+Cycle
+MemoryController::wakeRank(std::uint32_t rank, Cycle now)
+{
+    if (!rankPower_.machineActive())
+        return 0;
+    const WakeResult w = rankPower_.wake(rank, now, power_, tracer_);
+    if (w.from == PowerState::Active)
+        return 0;
+    // Precharge-powerdown entry precharged the whole rank: close its
+    // rows (ending any row-hit runs) and meter those precharges.
+    std::uint32_t closed = 0;
+    const std::uint32_t lo = rank * config_.banksPerChip;
+    for (std::uint32_t b = lo; b < lo + config_.banksPerChip; ++b) {
+        if (!banks_[b].idle()) {
+            banks_[b].openRow = Bank::kNoRow;
+            ++closed;
+        }
+        std::uint32_t &run = hitRun_[b];
+        if (run > 0) {
+            stats_.rowHitRunHist.sample(run);
+            run = 0;
+        }
+    }
+    power_.meterEntryPrecharges(rank, closed);
+    if (w.from == PowerState::SelfRefresh && config_.refreshEnabled()) {
+        // Self-refresh kept the cells fresh internally; tREFI restarts
+        // at the exit.  nextRefreshDue_ may briefly understate the new
+        // deadlines, which only costs a few no-op refresh scans.
+        for (std::uint32_t b = lo; b < lo + config_.banksPerChip; ++b)
+            banks_[b].nextRefreshAt =
+                now + config_.timing.refreshInterval;
+    }
+    return w.penalty;
+}
+
 void
 MemoryController::launch(DramRequest req, Cycle now)
 {
     Bank &bank = banks_[req.coord.bank];
     panic_if(bank.readyAt > now, "launching into a busy bank");
+
+    const std::uint32_t rank = rankPower_.rankOf(req.coord.bank);
+    // Wake before classifying the access: powerdown entry precharged
+    // the rank, so what the scheduler saw as a row hit lands on an
+    // empty row buffer after an exit.
+    const Cycle wake_penalty = wakeRank(rank, now);
 
     const DramTiming &t = config_.timing;
     const bool open_mode = config_.pageMode == PageMode::Open;
@@ -253,6 +302,8 @@ MemoryController::launch(DramRequest req, Cycle now)
         access_lat = t.precharge + t.rowAccess + t.columnAccess;
         ++stats_.rowConflicts;
     }
+    // Low-power exit latency delays the command sequence itself.
+    access_lat += wake_penalty;
 
     // Row-locality run lengths: a miss ends the bank's current run.
     std::uint32_t &run = hitRun_[req.coord.bank];
@@ -289,12 +340,17 @@ MemoryController::launch(DramRequest req, Cycle now)
     req.bankWasIdle = idle;
     req.completion = data_end + t.controllerOverhead;
 
+    // Energy: the commands this access issued, attributed to its rank.
+    power_.meterAccess(rank, req.op == MemOp::Write, req.scrub, hit,
+                       idle);
+    rankPower_.noteBusyUntil(rank, bank.readyAt);
+
     if (tracer_) {
         const int pid = tracePidChannel(channel_);
         const int bank_tid = traceTidBank(req.coord.bank);
         const char *name = requestTraceName(req);
         tracer_->asyncStep("dram", name, req.id, pid, now, "sched");
-        Cycle at = now;
+        Cycle at = now + wake_penalty;
         if (!hit && !idle) {
             tracer_->slice(pid, bank_tid, "PRE", at, t.precharge,
                            Tracer::arg("id", req.id));
@@ -340,24 +396,38 @@ MemoryController::serviceRefresh(Cycle now)
     Cycle next_due = kCycleNever;
     for (Bank &bank : banks_) {
         if (now >= bank.nextRefreshAt) {
-            // A refresh due on a busy bank waits for the in-progress
-            // transaction; DDR allows postponing a bounded number of
-            // refreshes, so flag only pathological deferral.
-            if (bank.readyAt > now) {
+            const std::uint32_t bank_index =
+                static_cast<std::uint32_t>(&bank - banks_.data());
+            const std::uint32_t rank = rankPower_.rankOf(bank_index);
+            if (rankPower_.machineActive() &&
+                rankPower_.stateAt(rank, now) ==
+                    PowerState::SelfRefresh) {
+                // The device refreshes itself in self-refresh; the
+                // controller absorbs the deadline instead of waking
+                // the rank just to refresh it.
+                power_.noteRefreshSuppressed();
+                bank.nextRefreshAt = now + interval;
+            } else if (bank.readyAt > now) {
+                // A refresh due on a busy bank waits for the
+                // in-progress transaction; DDR allows postponing a
+                // bounded number of refreshes, so flag only
+                // pathological deferral.
                 if (now - bank.nextRefreshAt > 8 * interval) {
                     warn_once(
                         "bank refresh deferred more than 8*tREFI; "
                         "the channel is likely wedged");
                 }
             } else {
+                // A powered-down (non-self-refreshing) rank must wake
+                // to take the refresh; the exit latency folds into
+                // this refresh's bank-busy window.
+                const Cycle exit_lat = wakeRank(rank, now);
                 bank.openRow = Bank::kNoRow;  // refresh == precharge
-                bank.readyAt = now + duration;
+                bank.readyAt = now + exit_lat + duration;
                 if (tracer_) {
-                    tracer_->slice(
-                        tracePidChannel(channel_),
-                        traceTidBank(static_cast<std::uint32_t>(
-                            &bank - banks_.data())),
-                        "refresh", now, duration);
+                    tracer_->slice(tracePidChannel(channel_),
+                                   traceTidBank(bank_index), "refresh",
+                                   now, exit_lat + duration);
                 }
                 // Catch up without scheduling a burst of back-to-back
                 // refreshes if the bank was blocked a few intervals.
@@ -365,7 +435,9 @@ MemoryController::serviceRefresh(Cycle now)
                 if (bank.nextRefreshAt <= now)
                     bank.nextRefreshAt = now + interval;
                 ++stats_.refreshes;
-                stats_.refreshBlockedCycles += duration;
+                stats_.refreshBlockedCycles += exit_lat + duration;
+                power_.meterRefresh(rank);
+                rankPower_.noteBusyUntil(rank, bank.readyAt);
             }
         }
         next_due = std::min(next_due, bank.nextRefreshAt);
@@ -544,8 +616,10 @@ MemoryController::dumpState(std::ostream &os) const
     }
     dumpQueue(os, "readQueue", readQueue_);
     dumpQueue(os, "writeQueue", writeQueue_);
-    if (config_.ecc.enabled)
-        dumpQueue(os, "scrubQueue", scrubQueue_);
+    // Always dumped (not gated on ecc.enabled): queued scrub entries
+    // count into outstanding(), and a conservation-checker diagnosis
+    // must show every request the count covers.
+    dumpQueue(os, "scrubQueue", scrubQueue_);
     os << "  inFlight (" << inFlight_.size() << "):\n";
     for (const auto &r : inFlight_) {
         os << "    id=" << r.id
@@ -567,6 +641,23 @@ MemoryController::dumpState(std::ostream &os) const
            << " corrected=" << stats_.correctedErrors
            << " uncorrectable=" << stats_.uncorrectableErrors
            << " checkCycles=" << stats_.eccCheckCycles << "\n";
+    }
+    const PowerStats &p = power_.stats();
+    os << "  power: machine="
+       << (rankPower_.machineActive() ? "on" : "off")
+       << " totalNj=" << p.totalEnergy
+       << " bgNj=" << p.backgroundEnergy
+       << " actNj=" << p.activateEnergy
+       << " rdNj=" << p.readEnergy << " wrNj=" << p.writeEnergy
+       << " refNj=" << p.refreshEnergy
+       << " scrubNj=" << p.scrubEnergy << "\n";
+    os << "  power: pdEntries=" << p.powerdownEntries
+       << " srEntries=" << p.selfRefreshEntries
+       << " exitPenaltyCycles=" << p.exitPenaltyCycles
+       << " refreshesSuppressed=" << p.refreshesSuppressed << "\n";
+    for (std::uint32_t r = 0; r < rankPower_.ranks(); ++r) {
+        os << "    rank[" << r << "] energyNj=" << power_.rankEnergy(r)
+           << " busyUntil=" << rankPower_.busyUntil(r) << "\n";
     }
 }
 

@@ -35,6 +35,8 @@
 #include "dram/dram_config.hh"
 #include "dram/dram_types.hh"
 #include "dram/fault_injector.hh"
+#include "dram/power_model.hh"
+#include "dram/power_state.hh"
 #include "dram/scheduler.hh"
 
 namespace smtdram
@@ -160,10 +162,47 @@ class MemoryController
     }
 
     const ControllerStats &stats() const { return stats_; }
-    void resetStats() { stats_ = ControllerStats(); injector_.resetStats(); }
+
+    /** @param now stats-boundary cycle anchoring background-energy
+     *         accounting; 0 keeps the historical behavior for tests
+     *         that reset before the clock moves. */
+    void
+    resetStats(Cycle now = 0)
+    {
+        stats_ = ControllerStats();
+        injector_.resetStats();
+        power_.reset();
+        rankPower_.resetAccounting(now);
+    }
 
     /** Faults actually injected into this channel so far. */
     const FaultStats &faultStats() const { return injector_.stats(); }
+
+    /** Energy/power accounting of this channel (always on). */
+    const PowerStats &powerStats() const { return power_.stats(); }
+
+    /** Total energy attributed to one rank so far, nJ. */
+    double rankEnergy(std::uint32_t rank) const
+    {
+        return power_.rankEnergy(rank);
+    }
+
+    /** Ranks (chip groups) on this channel. */
+    std::uint32_t powerRanks() const { return power_.ranks(); }
+
+    /** Lazily evaluated power state of one rank at @p now. */
+    PowerState
+    rankPowerState(std::uint32_t rank, Cycle now) const
+    {
+        return rankPower_.stateAt(rank, now);
+    }
+
+    /**
+     * Bring background-energy and state-residency accounting current
+     * to cycle @p now.  Pure bookkeeping: never changes timing, safe
+     * to call at any cadence (epoch sampling, run end, post-mortem).
+     */
+    void syncPower(Cycle now) { rankPower_.sync(now, power_); }
 
     /**
      * Attach a request-lifecycle tracer (not owned; nullptr detaches).
@@ -214,6 +253,15 @@ class MemoryController
     /** Execute the chosen request's timing; returns completion time. */
     void launch(DramRequest req, Cycle now);
 
+    /**
+     * Materialize a rank's power-state exit for a command at @p now:
+     * account the idle window, close rows that precharge-powerdown
+     * entry had precharged, restart refresh tracking after
+     * self-refresh.  Returns the exit-latency penalty (0 when the
+     * rank was already active or the machine is off).
+     */
+    Cycle wakeRank(std::uint32_t rank, Cycle now);
+
     /** Issue any due auto-refreshes to banks that are free. */
     void serviceRefresh(Cycle now);
 
@@ -248,6 +296,11 @@ class MemoryController
     /** Earliest nextRefreshAt over all banks; lets idleAt() answer
      *  without scanning banks every cycle. */
     Cycle nextRefreshDue_ = kCycleNever;
+
+    /** Always-on energy meter (timing-neutral accounting). */
+    PowerModel power_;
+    /** Per-rank low-power state machine; inert unless enabled. */
+    RankPowerManager rankPower_;
 
     ControllerStats stats_;
 };

@@ -1,0 +1,129 @@
+#include "dram/power_model.hh"
+
+#include <algorithm>
+
+namespace smtdram
+{
+
+PowerModel::PowerModel(const DramConfig &config)
+    : rankEnergy_(config.chipsPerChannel, 0.0)
+{
+    const PowerConfig &p = config.power;
+    const DramTiming &t = config.timing;
+
+    // E = V * I * t: with I in mA and t = 1/(f_MHz * 1e6) s, one
+    // cycle of 1 mA costs VDD/f_MHz nanojoules exactly.
+    vddOverMhz_ = p.vdd / t.cpuMhz;
+
+    actNj_ = energyPerCycleNj(p.idd0 - p.idd3n) * t.rowAccess;
+    preNj_ = energyPerCycleNj(p.idd0 - p.idd2n) * t.precharge;
+    const Cycle burst = config.burstCycles();
+    readBurstNj_ = energyPerCycleNj(p.idd4r - p.idd3n) * burst;
+    writeBurstNj_ = energyPerCycleNj(p.idd4w - p.idd3n) * burst;
+    refreshNj_ = energyPerCycleNj(p.idd5 - p.idd3n) * t.refreshCycles;
+
+    // Standby current while Active: IDD3N once rows are held open
+    // (the steady state of open-page mode), IDD2N when every access
+    // precharges immediately behind itself.
+    bgActiveNj_ = energyPerCycleNj(
+        config.pageMode == PageMode::Open ? p.idd3n : p.idd2n);
+    bgPowerdownFastNj_ = energyPerCycleNj(p.idd3p);
+    bgPowerdownSlowNj_ = energyPerCycleNj(p.idd2p);
+    bgSelfRefreshNj_ = energyPerCycleNj(p.idd6);
+}
+
+double
+PowerModel::energyPerCycleNj(double idd_ma) const
+{
+    return vddOverMhz_ * idd_ma;
+}
+
+void
+PowerModel::meterAccess(std::uint32_t rank, bool is_write, bool scrub,
+                        bool row_hit, bool bank_was_idle)
+{
+    double command_nj = 0.0;
+    if (!row_hit) {
+        command_nj += actNj_;
+        if (!bank_was_idle)
+            command_nj += preNj_;
+    }
+    const double burst_nj = is_write ? writeBurstNj_ : readBurstNj_;
+    if (scrub) {
+        add(stats_.scrubEnergy, command_nj + burst_nj, rank);
+    } else {
+        if (command_nj > 0.0)
+            add(stats_.activateEnergy, command_nj, rank);
+        add(is_write ? stats_.writeEnergy : stats_.readEnergy,
+            burst_nj, rank);
+    }
+}
+
+void
+PowerModel::meterRefresh(std::uint32_t rank)
+{
+    add(stats_.refreshEnergy, refreshNj_, rank);
+}
+
+void
+PowerModel::meterEntryPrecharges(std::uint32_t rank,
+                                 std::uint32_t closed_rows)
+{
+    if (closed_rows == 0)
+        return;
+    stats_.entryPrecharges += closed_rows;
+    add(stats_.activateEnergy, preNj_ * closed_rows, rank);
+}
+
+void
+PowerModel::meterBackground(std::uint32_t rank, PowerState s,
+                            Cycle cycles)
+{
+    if (cycles == 0)
+        return;
+    double per_cycle = bgActiveNj_;
+    switch (s) {
+      case PowerState::Active:
+        stats_.activeCycles += cycles;
+        break;
+      case PowerState::PowerdownFast:
+        per_cycle = bgPowerdownFastNj_;
+        stats_.powerdownFastCycles += cycles;
+        break;
+      case PowerState::PowerdownSlow:
+        per_cycle = bgPowerdownSlowNj_;
+        stats_.powerdownSlowCycles += cycles;
+        break;
+      case PowerState::SelfRefresh:
+        per_cycle = bgSelfRefreshNj_;
+        stats_.selfRefreshCycles += cycles;
+        break;
+    }
+    add(stats_.backgroundEnergy,
+        per_cycle * static_cast<double>(cycles), rank);
+}
+
+void
+PowerModel::noteEpisode(PowerState deepest, Cycle span_cycles,
+                        Cycle penalty)
+{
+    if (deepest == PowerState::Active)
+        return;
+    ++stats_.powerdownEntries;
+    ++stats_.powerdownExits;
+    if (deepest == PowerState::SelfRefresh) {
+        ++stats_.selfRefreshEntries;
+        ++stats_.selfRefreshExits;
+    }
+    stats_.exitPenaltyCycles += penalty;
+    stats_.lowPowerSpanHist.sample(span_cycles);
+}
+
+void
+PowerModel::reset()
+{
+    stats_ = PowerStats();
+    std::fill(rankEnergy_.begin(), rankEnergy_.end(), 0.0);
+}
+
+} // namespace smtdram

@@ -1,0 +1,176 @@
+#include "dram/power_state.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/trace_event.hh"
+#include "dram/power_model.hh"
+
+namespace smtdram
+{
+
+const char *
+powerStateName(PowerState s)
+{
+    switch (s) {
+      case PowerState::Active:
+        return "active";
+      case PowerState::PowerdownFast:
+        return "powerdown-fast";
+      case PowerState::PowerdownSlow:
+        return "powerdown-slow";
+      case PowerState::SelfRefresh:
+        return "self-refresh";
+    }
+    return "?";
+}
+
+RankPowerManager::RankPowerManager(const DramConfig &config,
+                                   std::uint32_t channel)
+    : ranks_(config.chipsPerChannel),
+      banksPerChip_(config.banksPerChip),
+      channel_(channel),
+      machine_(config.power.active()),
+      pdIdle_(config.power.powerdownIdle),
+      slowIdle_(config.power.slowExitIdle),
+      srIdle_(config.power.selfRefreshIdle),
+      exitFast_(config.power.exitFast),
+      exitSlow_(config.power.exitSlow),
+      exitSelfRefresh_(config.power.exitSelfRefresh)
+{
+}
+
+PowerState
+RankPowerManager::stateAt(std::uint32_t rank, Cycle now) const
+{
+    if (!machine_)
+        return PowerState::Active;
+    const Rank &r = ranks_[rank];
+    if (now < r.busyUntil)
+        return PowerState::Active;
+    const Cycle idle = now - r.busyUntil;
+    if (idle < pdIdle_)
+        return PowerState::Active;
+    if (idle < slowIdle_)
+        return PowerState::PowerdownFast;
+    if (idle < srIdle_)
+        return PowerState::PowerdownSlow;
+    return PowerState::SelfRefresh;
+}
+
+void
+RankPowerManager::accountTo(std::uint32_t rank, Cycle upTo,
+                            PowerModel &model)
+{
+    Rank &r = ranks_[rank];
+    if (upTo <= r.accountedUntil)
+        return;
+    Cycle at = r.accountedUntil;
+    r.accountedUntil = upTo;
+
+    // Active through the busy window and the powerdown entry delay.
+    const Cycle active_end =
+        machine_ ? (r.busyUntil > kCycleNever - pdIdle_
+                        ? kCycleNever
+                        : r.busyUntil + pdIdle_)
+                 : kCycleNever;
+    if (at < active_end) {
+        const Cycle end = std::min(upTo, active_end);
+        model.meterBackground(rank, PowerState::Active, end - at);
+        at = end;
+    }
+    if (at >= upTo)
+        return;
+    const Cycle slow_start = r.busyUntil + slowIdle_;
+    if (at < slow_start) {
+        const Cycle end = std::min(upTo, slow_start);
+        model.meterBackground(rank, PowerState::PowerdownFast,
+                              end - at);
+        at = end;
+    }
+    if (at >= upTo)
+        return;
+    const Cycle sr_start = r.busyUntil + srIdle_;
+    if (at < sr_start) {
+        const Cycle end = std::min(upTo, sr_start);
+        model.meterBackground(rank, PowerState::PowerdownSlow,
+                              end - at);
+        at = end;
+    }
+    if (at < upTo)
+        model.meterBackground(rank, PowerState::SelfRefresh,
+                              upTo - at);
+}
+
+WakeResult
+RankPowerManager::wake(std::uint32_t rank, Cycle now,
+                       PowerModel &model, Tracer *tracer)
+{
+    accountTo(rank, now, model);
+
+    WakeResult res;
+    res.from = stateAt(rank, now);
+    if (res.from == PowerState::Active)
+        return res;
+
+    switch (res.from) {
+      case PowerState::PowerdownFast:
+        res.penalty = exitFast_;
+        break;
+      case PowerState::PowerdownSlow:
+        res.penalty = exitSlow_;
+        break;
+      case PowerState::SelfRefresh:
+        res.penalty = exitSelfRefresh_;
+        break;
+      case PowerState::Active:
+        break;
+    }
+
+    Rank &r = ranks_[rank];
+    const Cycle pd_start = r.busyUntil + pdIdle_;
+    model.noteEpisode(res.from, now - pd_start, res.penalty);
+
+    if (tracer) {
+        const int pid = tracePidChannel(channel_);
+        const int tid = traceTidRankPower(rank);
+        const Cycle slow_start = r.busyUntil + slowIdle_;
+        const Cycle sr_start = r.busyUntil + srIdle_;
+        tracer->slice(pid, tid, "powerdown-fast", pd_start,
+                      std::min(now, slow_start) - pd_start);
+        if (now > slow_start) {
+            tracer->slice(pid, tid, "powerdown-slow", slow_start,
+                          std::min(now, sr_start) - slow_start);
+        }
+        if (now > sr_start) {
+            tracer->slice(pid, tid, "self-refresh", sr_start,
+                          now - sr_start);
+        }
+        tracer->instant(pid, tid,
+                        res.from == PowerState::SelfRefresh
+                            ? "sr-exit"
+                            : "pd-exit",
+                        now, Tracer::arg("penalty", res.penalty));
+    }
+
+    // The rank is awake (and busy) from here; the caller extends
+    // busyUntil once it knows the command's completion.
+    r.busyUntil = now;
+    return res;
+}
+
+void
+RankPowerManager::sync(Cycle now, PowerModel &model)
+{
+    for (std::uint32_t rank = 0; rank < ranks_.size(); ++rank)
+        accountTo(rank, now, model);
+}
+
+void
+RankPowerManager::resetAccounting(Cycle now)
+{
+    for (Rank &r : ranks_)
+        r.accountedUntil = std::max(r.accountedUntil, now);
+}
+
+} // namespace smtdram

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-rank DRAM low-power state machine.
+ *
+ * Each rank (chip group) of a channel walks
+ *
+ *     Active -> precharge powerdown (fast exit)
+ *            -> precharge powerdown (slow exit)
+ *            -> self-refresh
+ *
+ * as its idle time crosses the configured entry thresholds, and pays
+ * the state's exit latency on the next command that targets it.  The
+ * machine is evaluated *lazily*: a rank's state at cycle `t` is a pure
+ * function of the cycle its last command finished (`busyUntil`) and
+ * the thresholds, so no per-cycle work is needed and the DRAM-system
+ * idle fast-path stays intact.  Transitions are materialized — rows
+ * closed, residency and background energy accounted, trace spans
+ * emitted, exit penalty charged — only when something next touches the
+ * rank (an access, a refresh, a stats sync).
+ *
+ * With `PowerConfig::enabled` false the manager never leaves Active
+ * and never charges a penalty; it still anchors the always-on
+ * background-energy accounting.
+ */
+
+#ifndef SMTDRAM_DRAM_POWER_STATE_HH
+#define SMTDRAM_DRAM_POWER_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/dram_config.hh"
+
+namespace smtdram
+{
+
+class PowerModel;
+class Tracer;
+
+/** Power state of one DRAM rank. */
+enum class PowerState : std::uint8_t {
+    Active,        ///< standby (clock enabled), ready for commands
+    PowerdownFast, ///< precharge powerdown, fast (DLL-on) exit
+    PowerdownSlow, ///< precharge powerdown, slow (DLL-off) exit
+    SelfRefresh,   ///< self-refresh: lowest power, refreshes itself
+};
+
+const char *powerStateName(PowerState s);
+
+/** What a wake-up materialized (returned to the controller). */
+struct WakeResult {
+    /** Exit latency charged to the waking command, cycles. */
+    Cycle penalty = 0;
+    /** Deepest state the rank had reached before this wake. */
+    PowerState from = PowerState::Active;
+};
+
+/** The per-rank state machines of one logical channel. */
+class RankPowerManager
+{
+  public:
+    RankPowerManager(const DramConfig &config, std::uint32_t channel);
+
+    /** True when the opt-in low-power machine is on. */
+    bool machineActive() const { return machine_; }
+
+    std::uint32_t ranks() const
+    {
+        return static_cast<std::uint32_t>(ranks_.size());
+    }
+
+    std::uint32_t rankOf(std::uint32_t bank) const
+    {
+        return bank / banksPerChip_;
+    }
+
+    /** Rank state at cycle @p now (lazy; Active when machine off). */
+    PowerState stateAt(std::uint32_t rank, Cycle now) const;
+
+    /**
+     * Wake @p rank at @p now for a command: account residency and
+     * background energy through @p now into @p model, emit the
+     * low-power spans and the exit instant to @p tracer, and return
+     * the exit penalty plus the state left behind.  The caller closes
+     * the rank's open rows when `from != Active` (precharge powerdown
+     * entry precharged them; the row buffers are empty on exit).
+     */
+    WakeResult wake(std::uint32_t rank, Cycle now, PowerModel &model,
+                    Tracer *tracer);
+
+    /** Record that @p rank executes work until cycle @p until. */
+    void
+    noteBusyUntil(std::uint32_t rank, Cycle until)
+    {
+        Rank &r = ranks_[rank];
+        if (until > r.busyUntil)
+            r.busyUntil = until;
+    }
+
+    /**
+     * Bring every rank's residency/background accounting current to
+     * @p now without materializing transitions (no spans, no row
+     * closures).  Safe at any time; splitting an idle window across
+     * sync points accounts identically to not splitting it.
+     */
+    void sync(Cycle now, PowerModel &model);
+
+    /** Stats boundary: re-anchor accounting at @p now. */
+    void resetAccounting(Cycle now);
+
+    Cycle busyUntil(std::uint32_t rank) const
+    {
+        return ranks_[rank].busyUntil;
+    }
+
+  private:
+    struct Rank {
+        /** Cycle the rank's last command finishes; idling starts here. */
+        Cycle busyUntil = 0;
+        /** Residency/background accounted through this cycle. */
+        Cycle accountedUntil = 0;
+    };
+
+    /** Account [r.accountedUntil, upTo) across the states crossed. */
+    void accountTo(std::uint32_t rank, Cycle upTo, PowerModel &model);
+
+    std::vector<Rank> ranks_;
+    std::uint32_t banksPerChip_;
+    std::uint32_t channel_;
+    bool machine_;
+    Cycle pdIdle_;
+    Cycle slowIdle_;
+    Cycle srIdle_;
+    Cycle exitFast_;
+    Cycle exitSlow_;
+    Cycle exitSelfRefresh_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_POWER_STATE_HH

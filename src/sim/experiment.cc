@@ -61,6 +61,21 @@ configSignature(const SystemConfig &config)
                       d.ecc.scrubBurst, d.ecc.scrubRegionRows);
         sig += ebuf;
     }
+    if (d.power.active()) {
+        // Only the state machine changes timing; the electrical
+        // currents are metering-only and deliberately excluded, so a
+        // non-default datasheet never splinters the baseline cache.
+        char pbuf[96];
+        std::snprintf(pbuf, sizeof(pbuf),
+                      "-pwr%llu,%llu,%llu,%llu,%llu,%llu",
+                      (unsigned long long)d.power.powerdownIdle,
+                      (unsigned long long)d.power.slowExitIdle,
+                      (unsigned long long)d.power.selfRefreshIdle,
+                      (unsigned long long)d.power.exitFast,
+                      (unsigned long long)d.power.exitSlow,
+                      (unsigned long long)d.power.exitSelfRefresh);
+        sig += pbuf;
+    }
     if (d.faults.active()) {
         // Alone-IPC baselines under fault injection depend on every
         // knob and on the seed; spell them all out.
@@ -116,6 +131,9 @@ simulateMixRun(const SystemConfig &config, const WorkloadMix &mix,
         out.readLatencyP99 = static_cast<std::uint64_t>(
             out.run.dram.readLatencyHist.p99());
     }
+    out.totalEnergyNj = out.run.power.totalEnergy;
+    out.avgPowerMw = out.run.power.averagePowerMw(
+        config.dram.timing.cpuMhz, out.run.measuredCycles);
     return out;
 }
 

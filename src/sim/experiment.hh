@@ -41,6 +41,13 @@ struct MixRun {
     //     histogram; means alone hide queueing-tail differences) ---
     std::uint64_t readLatencyP50 = 0;
     std::uint64_t readLatencyP99 = 0;
+
+    // --- Energy summary (always metered; see run.power for the
+    //     full breakdown) ---
+    /** Total DRAM energy over the measurement window, nJ. */
+    double totalEnergyNj = 0.0;
+    /** Average DRAM power over the measurement window, mW. */
+    double avgPowerMw = 0.0;
 };
 
 /** Instruction budgets and seed shared by a sweep's simulations. */

@@ -111,6 +111,83 @@ SmtSystem::registerStats()
             });
     }
 
+    // Energy/power breakdown.  The callers that sample the registry
+    // (sampleEpoch, exportObservability) syncPower() first, so the
+    // lazy background accounting is always current here.
+    r.registerScalar("dram.power.total_energy_nj", [this] {
+        return dram_->aggregatePowerStats().totalEnergy;
+    });
+    r.registerScalar("dram.power.background_energy_nj", [this] {
+        return dram_->aggregatePowerStats().backgroundEnergy;
+    });
+    r.registerScalar("dram.power.activate_energy_nj", [this] {
+        return dram_->aggregatePowerStats().activateEnergy;
+    });
+    r.registerScalar("dram.power.read_energy_nj", [this] {
+        return dram_->aggregatePowerStats().readEnergy;
+    });
+    r.registerScalar("dram.power.write_energy_nj", [this] {
+        return dram_->aggregatePowerStats().writeEnergy;
+    });
+    r.registerScalar("dram.power.refresh_energy_nj", [this] {
+        return dram_->aggregatePowerStats().refreshEnergy;
+    });
+    r.registerScalar("dram.power.scrub_energy_nj", [this] {
+        return dram_->aggregatePowerStats().scrubEnergy;
+    });
+    r.registerScalar("dram.power.avg_power_mw", [this] {
+        return dram_->aggregatePowerStats().averagePowerMw(
+            config_.dram.timing.cpuMhz, now_ - statsResetAt_);
+    });
+    r.registerScalar("dram.power.exit_penalty_cycles", [this] {
+        return static_cast<double>(
+            dram_->aggregatePowerStats().exitPenaltyCycles);
+    });
+    r.registerScalar("dram.power.refreshes_suppressed", [this] {
+        return static_cast<double>(
+            dram_->aggregatePowerStats().refreshesSuppressed);
+    });
+    r.registerScalar("dram.power.powerdown_entries", [this] {
+        return static_cast<double>(
+            dram_->aggregatePowerStats().powerdownEntries);
+    });
+    r.registerScalar("dram.power.self_refresh_entries", [this] {
+        return static_cast<double>(
+            dram_->aggregatePowerStats().selfRefreshEntries);
+    });
+    r.registerScalar("dram.power.active_cycles", [this] {
+        return static_cast<double>(
+            dram_->aggregatePowerStats().activeCycles);
+    });
+    r.registerScalar("dram.power.powerdown_fast_cycles", [this] {
+        return static_cast<double>(
+            dram_->aggregatePowerStats().powerdownFastCycles);
+    });
+    r.registerScalar("dram.power.powerdown_slow_cycles", [this] {
+        return static_cast<double>(
+            dram_->aggregatePowerStats().powerdownSlowCycles);
+    });
+    r.registerScalar("dram.power.self_refresh_cycles", [this] {
+        return static_cast<double>(
+            dram_->aggregatePowerStats().selfRefreshCycles);
+    });
+    r.registerHistogram("dram.power.low_power_span", [this] {
+        return dram_->aggregatePowerStats().lowPowerSpanHist;
+    });
+    for (std::uint32_t c = 0; c < dram_->channels(); ++c) {
+        r.registerScalar(
+            "dram.ch" + std::to_string(c) + ".energy_nj", [this, c] {
+                return dram_->channelPowerStats(c).totalEnergy;
+            });
+        for (std::uint32_t k = 0; k < dram_->powerRanks(); ++k) {
+            r.registerScalar("dram.ch" + std::to_string(c) + ".rank" +
+                                 std::to_string(k) + ".energy_nj",
+                             [this, c, k] {
+                                 return dram_->rankEnergy(c, k);
+                             });
+        }
+    }
+
     // Per-thread CPU counters.
     for (std::uint32_t t = 0; t < config_.core.numThreads; ++t) {
         const std::string p = "cpu.t" + std::to_string(t) + ".";
@@ -165,6 +242,9 @@ SmtSystem::registerStats()
 void
 SmtSystem::sampleEpoch()
 {
+    // Energy accounting is lazy; bring it current so the epoch's
+    // power scalars describe [resetAt, now] and not a stale horizon.
+    dram_->syncPower(now_);
     if (registry_)
         registry_->sampleEpoch(now_);
     if (tracer_) {
@@ -186,6 +266,7 @@ SmtSystem::sampleEpoch()
 void
 SmtSystem::exportObservability()
 {
+    dram_->syncPower(now_);
     if (registry_) {
         if (!config_.observe.statsJsonPath.empty()) {
             std::ofstream os(config_.observe.statsJsonPath);
@@ -332,9 +413,10 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
 
     // ---- Reset statistics at the measurement boundary ----
     hierarchy_->resetStats();
-    dram_->resetStats();
+    dram_->resetStats(now_);
     core_->resetHighWater();
     lastEpochAt_ = now_;
+    statsResetAt_ = now_;
 
     std::vector<std::uint64_t> base(n);
     std::uint64_t base_mispredicts = 0;
@@ -404,6 +486,8 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     }
 
     res.dram = dram_->aggregateStats();
+    dram_->syncPower(now_);
+    res.power = dram_->aggregatePowerStats();
     const std::uint64_t row_total =
         res.dram.rowHits + res.dram.rowEmpty + res.dram.rowConflicts;
     res.rowMissRate = row_total ? res.dram.rowMissRate() : 0.0;

@@ -19,6 +19,7 @@
 #include "common/stats_registry.hh"
 #include "common/trace_event.hh"
 #include "cpu/smt_core.hh"
+#include "dram/power_model.hh"
 #include "sim/system_config.hh"
 #include "workload/spec2000.hh"
 #include "workload/synthetic_stream.hh"
@@ -35,6 +36,8 @@ struct RunResult {
 
     // --- DRAM-side measurements ---
     ControllerStats dram;
+    /** Energy/power over the measurement window (always metered). */
+    PowerStats power;
     double rowMissRate = 0.0;
     /** Main-memory accesses (reads) per 100 committed instructions. */
     double memAccessPer100 = 0.0;
@@ -131,6 +134,8 @@ class SmtSystem
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<StatsRegistry> registry_;
     Cycle lastEpochAt_ = 0;
+    /** Cycle the measurement window opened; average power uses it. */
+    Cycle statsResetAt_ = 0;
     PanicHookHandle panicHook_ = 0;
 };
 

@@ -248,6 +248,82 @@ TEST(LogHistogram, MergeWithEmptyIsIdentity)
     EXPECT_EQ(b.total(), 2u);
     EXPECT_EQ(b.min(), 5u);
     EXPECT_EQ(b.max(), 500u);
+
+    // Derived views survive the round-trip through an empty merge.
+    EXPECT_DOUBLE_EQ(b.mean(), a.mean());
+    EXPECT_DOUBLE_EQ(b.p50(), a.p50());
+    EXPECT_DOUBLE_EQ(b.p99(), a.p99());
+
+    // Empty-into-empty stays empty (min_ sentinel must not leak).
+    LogHistogram e1, e2;
+    e1.merge(e2);
+    EXPECT_EQ(e1.total(), 0u);
+    EXPECT_EQ(e1.min(), 0u);
+    EXPECT_EQ(e1.max(), 0u);
+    EXPECT_DOUBLE_EQ(e1.mean(), 0.0);
+}
+
+TEST(LogHistogram, SaturatingValuesLandInTheLastBucket)
+{
+    // 2^63 and friends must map to valid buckets with no overflow in
+    // the sub-bucket shift arithmetic.
+    const std::uint64_t huge = std::uint64_t{1} << 63;
+    const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+    const size_t buckets = LogHistogram().numBuckets();
+    EXPECT_LT(LogHistogram::bucketIndex(huge), buckets);
+    EXPECT_EQ(LogHistogram::bucketIndex(top), buckets - 1);
+    EXPECT_LE(LogHistogram::bucketLowerBound(buckets - 1), top);
+
+    LogHistogram h;
+    h.sample(huge);
+    h.sample(huge + 1);
+    h.sample(top);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.min(), huge);
+    EXPECT_EQ(h.max(), top);
+    // Percentiles of the open-ended top octave stay clamped inside
+    // the observed range even though hi = max_ + 1 wraps.
+    for (double p : {1.0, 50.0, 99.0, 100.0}) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, static_cast<double>(h.min())) << p;
+        EXPECT_LE(v, static_cast<double>(h.max())) << p;
+    }
+
+    // Merging saturated histograms stays saturated, not wrapped.
+    LogHistogram other;
+    other.merge(h);
+    other.merge(h);
+    EXPECT_EQ(other.total(), 6u);
+    EXPECT_EQ(other.max(), top);
+    EXPECT_EQ(other.bucketCount(buckets - 1), h.bucketCount(buckets - 1) * 2);
+}
+
+TEST(LogHistogram, PercentileAtExactBoundaryCounts)
+{
+    // Values below kLinearMax sit in width-1 buckets, so percentile()
+    // is exact and the rank arithmetic at bucket boundaries is
+    // observable: with two samples, p50 is the first sample (rank
+    // ceil(0.5*2) = 1) and anything above p50 is the second.
+    LogHistogram h;
+    h.sample(10);
+    h.sample(20);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.1), 20.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 20.0);
+    // p is clamped into (0, 100]: rank never drops to zero and an
+    // out-of-range request degrades to the extremes.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-5.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(500.0), 20.0);
+
+    // Four equally spaced samples: every quartile boundary is exact.
+    LogHistogram q;
+    for (std::uint64_t v : {4u, 8u, 12u, 16u})
+        q.sample(v);
+    EXPECT_DOUBLE_EQ(q.percentile(25.0), 4.0);
+    EXPECT_DOUBLE_EQ(q.percentile(50.0), 8.0);
+    EXPECT_DOUBLE_EQ(q.percentile(75.0), 12.0);
+    EXPECT_DOUBLE_EQ(q.percentile(100.0), 16.0);
 }
 
 TEST(LogHistogram, ResetClears)

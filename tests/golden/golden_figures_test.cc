@@ -244,6 +244,53 @@ TEST(GoldenFigures, Fig9MappingRdram)
     checkGolden("fig9_mapping_rdram", text);
 }
 
+TEST(GoldenFigures, AblationDesignChoices)
+{
+    // Mirrors bench/ablation_design_choices.cpp: the six config
+    // tweaks the ablation bench sweeps, pinned over a small mix pair
+    // so refactors of page mode, prefetch, criticality scheduling,
+    // write drain, and channel interleave can't drift unnoticed.
+    struct Variant {
+        const char *label;
+        void (*tweak)(SystemConfig &);
+    };
+    const Variant variants[] = {
+        {"baseline", [](SystemConfig &) {}},
+        {"close-pg",
+         [](SystemConfig &c) { c.dram.pageMode = PageMode::Close; }},
+        {"prefetch",
+         [](SystemConfig &c) { c.hierarchy.prefetchNextLine = true; }},
+        {"critical",
+         [](SystemConfig &c) {
+             c.scheduler = SchedulerKind::CriticalityBased;
+         }},
+        {"eager-wr",
+         [](SystemConfig &c) {
+             c.dram.writeHighWatermark = 1;
+             c.dram.writeLowWatermark = 0;
+         }},
+        {"pg-ilv",
+         [](SystemConfig &c) {
+             c.dram.channelInterleave = ChannelInterleave::Page;
+         }},
+    };
+
+    std::string text;
+    for (const char *mix_name : {"2-MIX", "2-MEM"}) {
+        const WorkloadMix &mix = mixByName(mix_name);
+        const auto threads =
+            static_cast<std::uint32_t>(mix.apps.size());
+        for (const Variant &v : variants) {
+            SystemConfig config = SystemConfig::paperDefault(threads);
+            v.tweak(config);
+            appendRun(text,
+                      std::string(mix_name) + "." + v.label,
+                      ctx().runMix(config, mix));
+        }
+    }
+    checkGolden("ablation_design_choices", text);
+}
+
 TEST(GoldenFigures, Fig10Schedulers)
 {
     const WorkloadMix &mix = mixByName("2-MEM");

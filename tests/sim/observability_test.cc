@@ -110,6 +110,60 @@ TEST(Observability, ConfigSignatureStaysFrozen)
     config.observe.statsJsonPath = "s.json";
     config.observe.epoch = 500;
     EXPECT_EQ(configSignature(config), dark);
+
+    // The always-on energy meter is timing-neutral, so its electrical
+    // knobs must not fork the signature either.
+    config.dram.power.vdd = 99.0;
+    config.dram.power.idd0 = 500.0;
+    EXPECT_EQ(configSignature(config), dark);
+
+    // The opt-in low-power machine DOES change timing; its thresholds
+    // and exit latencies enter the signature the moment it turns on.
+    config.dram.withPowerManagement();
+    const std::string powered = configSignature(config);
+    EXPECT_NE(powered, dark);
+    EXPECT_NE(powered.find("-pwr96,1024,8192,18,60,540"),
+              std::string::npos)
+        << powered;
+}
+
+TEST(Observability, PowerKnobsAreInertWhenDisabled)
+{
+    // Same contract as KnobsAreInert for the power subsystem: with
+    // the state machine off, neither electrical currents nor (unused)
+    // thresholds may change a simulated outcome.
+    auto run = [&](bool mutated) {
+        SystemConfig config = SystemConfig::paperDefault(2);
+        if (mutated) {
+            config.dram.power.vdd = 7.5;
+            config.dram.power.idd0 = 400.0;
+            config.dram.power.idd3n = 90.0;
+            config.dram.power.idd4r = 600.0;
+            config.dram.power.idd4w = 550.0;
+            config.dram.power.idd5 = 700.0;
+            config.dram.power.powerdownIdle = 8;
+            config.dram.power.slowExitIdle = 16;
+            config.dram.power.selfRefreshIdle = 24;
+            config.dram.power.exitFast = 1'000;
+            config.dram.power.exitSlow = 2'000;
+            config.dram.power.exitSelfRefresh = 3'000;
+        }
+        SmtSystem system(config, mixProfiles("2-MEM"), 42);
+        return system.run(5000, 2000);
+    };
+    const RunResult plain = run(false);
+    const RunResult mutated = run(true);
+
+    EXPECT_EQ(plain.measuredCycles, mutated.measuredCycles);
+    EXPECT_EQ(plain.ipc, mutated.ipc);
+    EXPECT_EQ(plain.committed, mutated.committed);
+    EXPECT_EQ(plain.dram.reads, mutated.dram.reads);
+    EXPECT_EQ(plain.dram.rowHits, mutated.dram.rowHits);
+    // The meter itself is not inert — hotter currents mean more
+    // metered nanojoules for the identical command stream.
+    EXPECT_GT(plain.power.totalEnergy, 0.0);
+    EXPECT_GT(mutated.power.totalEnergy, plain.power.totalEnergy);
+    EXPECT_EQ(mutated.power.powerdownEntries, 0u);
 }
 
 TEST(Observability, ExportsSchemaVersionedStatsAndEpochCsv)
