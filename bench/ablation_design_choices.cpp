@@ -22,6 +22,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declarePowerFlags(flags);
+    declareHammerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -49,6 +50,7 @@ main(int argc, char **argv)
             SystemConfig config = SystemConfig::paperDefault(threads);
             tweak(config);
             applyPowerFlags(flags, config);
+            applyHammerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             return runner.submitMix(config, mix);
         };

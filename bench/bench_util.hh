@@ -75,6 +75,57 @@ declareRobustnessFlags(Flags &flags)
 }
 
 /**
+ * Declare the rowhammer disturbance/mitigation knobs.  All default
+ * off; figure output is bit-identical without a flag.
+ */
+inline void
+declareHammerFlags(Flags &flags)
+{
+    flags.declare("hammer", "false",
+                  "enable the rowhammer disturbance model (victim-row "
+                  "bit flips under neighbor-activation pressure)");
+    flags.declare("hammer-seed", "7", "hammer-flip random seed");
+    flags.declare("hammer-threshold", "4096",
+                  "neighbor activations per refresh window before a "
+                  "victim row starts sampling flips");
+    flags.declare("hammer-flip-prob", "0.001",
+                  "per-activation flip chance once past the threshold");
+    flags.declare("hammer-blast", "1",
+                  "blast radius: victim rows affected on each side of "
+                  "an aggressor");
+    flags.declare("hammer-mitigate", "false",
+                  "enable Graphene-style preventive refresh (requires "
+                  "--hammer)");
+    flags.declare("hammer-tracker-capacity", "16",
+                  "Misra-Gries aggressor-table entries per bank");
+    flags.declare("hammer-mitigate-threshold", "1024",
+                  "tracked activation count that triggers preventive "
+                  "refresh of a row's neighbors");
+}
+
+/** Apply the hammer flags to @p config's DRAM subsystem. */
+inline void
+applyHammerFlags(const Flags &flags, SystemConfig &config)
+{
+    if (flags.getBool("hammer")) {
+        config.dram.withHammer(
+            static_cast<std::uint64_t>(
+                flags.getInt("hammer-threshold")),
+            flags.getDouble("hammer-flip-prob"),
+            static_cast<std::uint32_t>(flags.getInt("hammer-blast")));
+        config.dram.hammer.seed =
+            static_cast<std::uint64_t>(flags.getInt("hammer-seed"));
+        if (flags.getBool("hammer-mitigate")) {
+            config.dram.withHammerMitigation(
+                static_cast<std::uint32_t>(
+                    flags.getInt("hammer-tracker-capacity")),
+                static_cast<std::uint64_t>(
+                    flags.getInt("hammer-mitigate-threshold")));
+        }
+    }
+}
+
+/**
  * Declare the DRAM power-management knobs.  Energy metering is always
  * on (and timing-neutral); these flags opt the per-rank low-power
  * state machine in, which does change timing, so everything defaults

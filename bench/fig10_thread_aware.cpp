@@ -43,6 +43,7 @@ runSweep(const Flags &flags, const std::vector<std::string> &mixes,
             config.scheduler = scheduler;
             applyRobustnessFlags(flags, config);
             applyPowerFlags(flags, config);
+            applyHammerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }
@@ -68,6 +69,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declarePowerFlags(flags);
+    declareHammerFlags(flags);
     declareRobustnessFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);

@@ -24,6 +24,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declarePowerFlags(flags);
+    declareHammerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -80,6 +81,7 @@ main(int argc, char **argv)
                 if (machine_on && !flags.getBool("power"))
                     config.dram.withPowerManagement();
                 applyPowerFlags(flags, config);
+                applyHammerFlags(flags, config);
                 applyObservabilityFlags(flags, config);
                 row.ids.push_back(runner.submitMix(config, mix));
             }

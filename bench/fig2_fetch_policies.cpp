@@ -17,6 +17,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declarePowerFlags(flags);
+    declareHammerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -44,6 +45,7 @@ main(int argc, char **argv)
                 static_cast<std::uint32_t>(mix.apps.size()));
             config.core.fetchPolicy = policy;
             applyPowerFlags(flags, config);
+            applyHammerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }

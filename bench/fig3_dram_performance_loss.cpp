@@ -21,6 +21,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declarePowerFlags(flags);
+    declareHammerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -68,6 +69,7 @@ main(int argc, char **argv)
         SystemConfig dwarn = SystemConfig::paperDefault(threads);
         dwarn.core.fetchPolicy = FetchPolicyKind::DWarn;
         applyPowerFlags(flags, dwarn);
+        applyHammerFlags(flags, dwarn);
         applyObservabilityFlags(flags, dwarn);
 
         MixIds id;

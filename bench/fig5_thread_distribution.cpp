@@ -16,6 +16,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declarePowerFlags(flags);
+    declareHammerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -39,6 +40,7 @@ main(int argc, char **argv)
         SystemConfig config = SystemConfig::paperDefault(
             static_cast<std::uint32_t>(mix.apps.size()));
         applyPowerFlags(flags, config);
+        applyHammerFlags(flags, config);
         applyObservabilityFlags(flags, config);
         ids.push_back(runner.submitMix(config, mix));
     }

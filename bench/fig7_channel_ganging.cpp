@@ -19,6 +19,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declarePowerFlags(flags);
+    declareHammerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -61,6 +62,7 @@ main(int argc, char **argv)
             config.dram = DramConfig::ddrSdram(o.channels, o.gang);
             config.dram.mapping = mapping;
             applyPowerFlags(flags, config);
+            applyHammerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }

@@ -16,6 +16,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declarePowerFlags(flags);
+    declareHammerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.parse(argc, argv,
@@ -45,6 +46,7 @@ main(int argc, char **argv)
             SystemConfig config = SystemConfig::paperDefault(threads);
             config.dram.mapping = scheme;
             applyPowerFlags(flags, config);
+            applyHammerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }

@@ -17,6 +17,7 @@ main(int argc, char **argv)
     Flags flags;
     declareCommonFlags(flags);
     declarePowerFlags(flags);
+    declareHammerFlags(flags);
     declareObservabilityFlags(flags);
     declareParallelFlags(flags);
     flags.declare("chips", "4", "RDRAM devices per channel");
@@ -48,6 +49,7 @@ main(int argc, char **argv)
             config.dram = DramConfig::directRambus(2, chips);
             config.dram.mapping = scheme;
             applyPowerFlags(flags, config);
+            applyHammerFlags(flags, config);
             applyObservabilityFlags(flags, config);
             ids.back().push_back(runner.submitMix(config, mix));
         }

@@ -79,6 +79,34 @@ DramConfig::validate() const
                  (unsigned long long)ecc.checkOverheadCycles,
                  (unsigned long long)lineTransferCycles());
     }
+    fatal_if(hammer.mitigation && !hammer.enabled,
+             "hammer mitigation requested without the disturbance "
+             "model; enable hammer so there is something to prevent");
+    if (hammer.enabled) {
+        fatal_if(hammer.hammerThreshold == 0,
+                 "a hammer threshold of 0 flips victims on the first "
+                 "activation; every row would be broken");
+        fatal_if(hammer.flipProbability < 0.0 ||
+                     hammer.flipProbability > 1.0,
+                 "hammer flip probability must lie in [0, 1]");
+        fatal_if(hammer.blastRadius == 0,
+                 "a blast radius of 0 disturbs no neighbors; disable "
+                 "the hammer model instead");
+    }
+    if (hammer.mitigates()) {
+        fatal_if(hammer.trackerCapacity == 0,
+                 "aggressor tracker holds no counters; mitigation "
+                 "could never fire");
+        fatal_if(hammer.mitigationThreshold == 0,
+                 "a mitigation threshold of 0 refreshes neighbors on "
+                 "every activation");
+        fatal_if(hammer.mitigationThreshold >= hammer.hammerThreshold,
+                 "mitigation threshold %llu does not undercut the "
+                 "hammer threshold %llu; preventive refresh would "
+                 "always lose the race to the first flip",
+                 (unsigned long long)hammer.mitigationThreshold,
+                 (unsigned long long)hammer.hammerThreshold);
+    }
     // Electrical parameters feed the always-on accounting, so they
     // are checked whether or not the state machine is enabled.
     fatal_if(power.vdd <= 0.0, "DRAM supply voltage must be positive");

@@ -164,6 +164,68 @@ struct EccConfig {
 };
 
 /**
+ * Rowhammer disturbance-error modeling knobs (all inert unless
+ * `enabled`).
+ *
+ * Repeatedly activating a DRAM row disturbs the charge of its
+ * physically adjacent rows; past a part-specific activation count the
+ * victims' cells flip.  The model counts ACTs per row inside the
+ * refresh window (a refresh restores the charge and resets the
+ * accumulated pressure) and, once a victim row's neighbor-activation
+ * pressure passes `hammerThreshold`, samples bit flips per further
+ * aggressor ACT.  Flips surface through the ECC path on the next read
+ * of the victim row: one outstanding flip is SECDED-corrected (and
+ * scrubbed by the correcting read), two or more are a detected
+ * uncorrectable error; with ECC off the read is delivered silently
+ * corrupt and only audited by a counter.
+ *
+ * `mitigation` opts in a Graphene-style aggressor tracker: a bounded
+ * Misra-Gries frequent-item table per bank whose counters trigger
+ * *preventive refresh* commands for the victim rows before the flip
+ * threshold can be reached.  Preventive refreshes are first-class
+ * maintenance commands: they queue at the controller, compete with
+ * demand/scrub traffic under the configured scheduler, occupy the
+ * bank for a full row cycle, and are metered by the power model.
+ */
+struct HammerConfig {
+    bool enabled = false;
+    /** Seed of the dedicated victim-flip sampling stream. */
+    std::uint64_t seed = 7;
+    /** Neighbor-activation pressure at which a victim starts
+     *  flipping.  Scaled-down like tREFI: real parts need ~50-300K
+     *  ACTs in 64 ms; reduced-budget sims use proportionally small
+     *  thresholds. */
+    std::uint64_t hammerThreshold = 4096;
+    /** Chance one aggressor ACT past the threshold flips one more
+     *  victim bit. */
+    double flipProbability = 0.001;
+    /** Rows on each side of an aggressor that feel its ACTs. */
+    std::uint32_t blastRadius = 1;
+    /** Opt-in Graphene-style preventive-refresh mitigation. */
+    bool mitigation = false;
+    /** Misra-Gries counter-table entries per bank. */
+    std::uint32_t trackerCapacity = 16;
+    /** Estimated ACT count at which a tracked aggressor's neighbors
+     *  are preventively refreshed; must undercut hammerThreshold or
+     *  the mitigation can never win the race. */
+    std::uint64_t mitigationThreshold = 1024;
+
+    /** True if the disturbance model observes activations. */
+    bool
+    active() const
+    {
+        return enabled;
+    }
+
+    /** True if preventive refreshes can be generated. */
+    bool
+    mitigates() const
+    {
+        return enabled && mitigation;
+    }
+};
+
+/**
  * DRAM power/energy modeling parameters.
  *
  * The electrical half — datasheet currents (mA) and the device supply
@@ -247,6 +309,8 @@ struct DramConfig {
     FaultConfig faults;
     /** SECDED ECC configuration (inert unless enabled). */
     EccConfig ecc;
+    /** Rowhammer disturbance model (inert unless enabled). */
+    HammerConfig hammer;
     /** Power model (accounting always on; state machine opt-in). */
     PowerConfig power;
     /**
@@ -330,6 +394,31 @@ struct DramConfig {
         ecc.correctableProbability = correctable_prob;
         ecc.uncorrectableProbability = uncorrectable_prob;
         ecc.scrubInterval = scrub_interval;
+        return *this;
+    }
+
+    /** Enable the rowhammer disturbance model (chainable). */
+    DramConfig &
+    withHammer(std::uint64_t threshold = 4096,
+               double flip_probability = 0.001,
+               std::uint32_t blast_radius = 1)
+    {
+        hammer.enabled = true;
+        hammer.hammerThreshold = threshold;
+        hammer.flipProbability = flip_probability;
+        hammer.blastRadius = blast_radius;
+        return *this;
+    }
+
+    /** Enable Graphene-style preventive refresh (chainable; requires
+     *  withHammer(), enforced by validate()). */
+    DramConfig &
+    withHammerMitigation(std::uint32_t tracker_capacity = 16,
+                         std::uint64_t mitigation_threshold = 1024)
+    {
+        hammer.mitigation = true;
+        hammer.trackerCapacity = tracker_capacity;
+        hammer.mitigationThreshold = mitigation_threshold;
         return *this;
     }
 

@@ -78,6 +78,32 @@ DramSystem::serviceScrub(Cycle now)
     }
 }
 
+void
+DramSystem::serviceMitigations(Cycle now)
+{
+    for (std::uint32_t c = 0; c < controllers_.size(); ++c) {
+        MemoryController &mc = controllers_[c];
+        if (!mc.hasPendingMitigations())
+            continue;
+        mitigationScratch_.clear();
+        mc.takePendingMitigations(mitigationScratch_);
+        for (const MitigationRequest &m : mitigationScratch_) {
+            DramRequest req;
+            req.id = nextId_++;
+            req.op = MemOp::Read;
+            req.mitigation = true;
+            req.thread = kThreadNone;
+            req.arrival = now;
+            req.addr = kAddrInvalid;  // row-granular, no data moved
+            req.coord = {c, m.bank, m.row, 0};
+            req.critical = false;
+            if (checker_)
+                checker_->onEnqueue(req, now);
+            mc.enqueue(req);
+        }
+    }
+}
+
 bool
 DramSystem::canAccept(Addr addr, MemOp op) const
 {
@@ -143,6 +169,11 @@ DramSystem::tick(Cycle now)
     if (!scrub_.empty())
         serviceScrub(now);
 
+    // Turn tracker requests (appended during earlier launches) into
+    // queued maintenance commands before the controllers issue.
+    if (config_.hammer.mitigates())
+        serviceMitigations(now);
+
     completedScratch_.clear();
     for (auto &mc : controllers_)
         mc.tick(now, completedScratch_);
@@ -158,9 +189,10 @@ DramSystem::tick(Cycle now)
     for (const auto &req : completedScratch_) {
         if (checker_)
             checker_->onComplete(req, now);
-        // Scrub completions are internal maintenance: conserved by
-        // the checker above but invisible to the demand callback.
-        if (req.op != MemOp::Read || req.scrub)
+        // Scrub and mitigation completions are internal maintenance:
+        // conserved by the checker above but invisible to the demand
+        // callback.
+        if (req.op != MemOp::Read || req.scrub || req.mitigation)
             continue;
         if (req.thread != kThreadNone &&
             req.thread < perThreadOutstanding_.size()) {
@@ -305,6 +337,53 @@ DramSystem::aggregateFaultStats() const
     return agg;
 }
 
+const FaultStats &
+DramSystem::channelFaultStats(std::uint32_t channel) const
+{
+    panic_if(channel >= controllers_.size(), "channel %u out of range",
+             channel);
+    return controllers_[channel].faultStats();
+}
+
+HammerStats
+DramSystem::aggregateHammerStats() const
+{
+    HammerStats agg;
+    for (const auto &mc : controllers_) {
+        const HammerStats &h = mc.hammerStats();
+        agg.activations += h.activations;
+        agg.thresholdCrossings += h.thresholdCrossings;
+        agg.victimFlips += h.victimFlips;
+        agg.victimCorrected += h.victimCorrected;
+        agg.victimUncorrectable += h.victimUncorrectable;
+        agg.silentCorruptions += h.silentCorruptions;
+        agg.flipsScrubbed += h.flipsScrubbed;
+        agg.windowResets += h.windowResets;
+        agg.mitigationsRequested += h.mitigationsRequested;
+        agg.mitigationsIssued += h.mitigationsIssued;
+        agg.mitigationCycles += h.mitigationCycles;
+        agg.trackerEvictions += h.trackerEvictions;
+    }
+    return agg;
+}
+
+const HammerStats &
+DramSystem::channelHammerStats(std::uint32_t channel) const
+{
+    panic_if(channel >= controllers_.size(), "channel %u out of range",
+             channel);
+    return controllers_[channel].hammerStats();
+}
+
+std::uint64_t
+DramSystem::hammerFlippedRows() const
+{
+    std::uint64_t n = 0;
+    for (const auto &mc : controllers_)
+        n += mc.hammerModel().flippedRows();
+    return n;
+}
+
 PowerStats
 DramSystem::aggregatePowerStats() const
 {
@@ -317,6 +396,7 @@ DramSystem::aggregatePowerStats() const
         agg.writeEnergy += p.writeEnergy;
         agg.refreshEnergy += p.refreshEnergy;
         agg.scrubEnergy += p.scrubEnergy;
+        agg.mitigationEnergy += p.mitigationEnergy;
         agg.totalEnergy += p.totalEnergy;
         agg.powerdownEntries += p.powerdownEntries;
         agg.powerdownExits += p.powerdownExits;
@@ -389,6 +469,14 @@ DramSystem::dumpState(std::ostream &os) const
         os << " ecc{scrubReads=" << agg.scrubReads
            << " corrected=" << agg.correctedErrors
            << " uncorrectable=" << agg.uncorrectableErrors << "}";
+    }
+    if (config_.hammer.enabled) {
+        const HammerStats hagg = aggregateHammerStats();
+        os << " hammer{flips=" << hagg.victimFlips
+           << " corrected=" << hagg.victimCorrected
+           << " uncorrectable=" << hagg.victimUncorrectable
+           << " mitigations=" << hagg.mitigationsIssued
+           << " flippedRows=" << hammerFlippedRows() << "}";
     }
     if (checker_) {
         os << " checker{enqueued=" << checker_->enqueued()

@@ -104,6 +104,18 @@ class DramSystem
     /** Sum of all per-channel injected-fault stats. */
     FaultStats aggregateFaultStats() const;
 
+    /** One channel's injected-fault stats. */
+    const FaultStats &channelFaultStats(std::uint32_t channel) const;
+
+    /** Sum of all per-channel rowhammer stats. */
+    HammerStats aggregateHammerStats() const;
+
+    /** One channel's rowhammer stats. */
+    const HammerStats &channelHammerStats(std::uint32_t channel) const;
+
+    /** Victim rows currently carrying at least one flipped bit. */
+    std::uint64_t hammerFlippedRows() const;
+
     /** Sum of all per-channel energy/power stats. */
     PowerStats aggregatePowerStats() const;
 
@@ -154,6 +166,13 @@ class DramSystem
      */
     void serviceScrub(Cycle now);
 
+    /**
+     * Materialize preventive refreshes the aggressor trackers have
+     * requested.  Like scrub, generation lives here so mitigation
+     * commands take the same id/checker path as demand traffic.
+     */
+    void serviceMitigations(Cycle now);
+
     /** Per-channel patrol-scrub pacing and address cursor. */
     struct ScrubState {
         Cycle nextAt = 0;
@@ -173,6 +192,8 @@ class DramSystem
     std::unique_ptr<ConservationChecker> checker_;
     Cycle lastAgeCheck_ = 0;
     std::vector<ScrubState> scrub_;
+    /** Reused by serviceMitigations() (no per-tick allocation). */
+    std::vector<MitigationRequest> mitigationScratch_;
 };
 
 } // namespace smtdram

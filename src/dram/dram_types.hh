@@ -63,6 +63,10 @@ struct DramRequest {
     /** True for ECC patrol-scrub reads (background maintenance
      *  traffic; never delivered through the read callback). */
     bool scrub = false;
+    /** True for rowhammer preventive-refresh commands: a maintenance
+     *  ACT+PRE on a victim row that restores its charge.  Moves no
+     *  data, never delivered through the read callback. */
+    bool mitigation = false;
 
     // --- Filled in by the controller when the transaction executes ---
     Cycle issueTime = 0;      ///< cycle the transaction left the queue

@@ -1,6 +1,7 @@
 #include "dram/memory_controller.hh"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 
 #include "common/logging.hh"
@@ -22,6 +23,8 @@ namespace
 const char *
 requestTraceName(const DramRequest &req)
 {
+    if (req.mitigation)
+        return "prevref";
     if (req.scrub)
         return "scrub";
     return req.op == MemOp::Read ? "read" : "write";
@@ -35,7 +38,12 @@ MemoryController::MemoryController(const DramConfig &config,
     : config_(config),
       channel_(channel),
       scheduler_(makeScheduler(scheduler)),
-      injector_(config.faults, config.ecc, channel),
+      injector_(config.faults, config.ecc, config.hammer, channel),
+      // The address map does not bound the row index (pages map ever
+      // upward), so the disturbance model only clips victims at the
+      // index-space edges.
+      hammer_(config.hammer, config.banksPerChannel(),
+              std::numeric_limits<std::uint32_t>::max()),
       banks_(config.banksPerChannel()),
       hitRun_(config.banksPerChannel(), 0),
       // A new transaction's data phase starts after its bank-access
@@ -90,8 +98,10 @@ MemoryController::enqueue(DramRequest req)
     panic_if(req.coord.bank >= banks_.size(),
              "bank %u out of range (%zu banks)", req.coord.bank,
              banks_.size());
-    if (req.op == MemOp::Read && !req.scrub && req.retries == 0)
+    if (req.op == MemOp::Read && !req.scrub && !req.mitigation &&
+        req.retries == 0) {
         stats_.queueDepthHist.sample(readQueue_.size());
+    }
     if (tracer_ && req.retries == 0) {
         // Retried requests re-enter the queue inside an already-open
         // span; only the first enqueue begins the lifecycle.
@@ -103,14 +113,25 @@ MemoryController::enqueue(DramRequest req)
                              ? ~std::uint64_t{0}
                              : req.thread));
     }
-    if (injector_.active()) {
+    // Mitigation commands never draw from the fault stream: enabling
+    // the hammer model must not perturb the fault pattern of a seed.
+    if (injector_.active() && !req.mitigation) {
         // A command-path glitch delays when the request may issue,
         // not when it occupies queue space.
         const Cycle d = injector_.sampleEnqueueDelay();
         if (d > 0)
             req.notBefore = std::max(req.notBefore, req.arrival + d);
     }
-    if (req.scrub) {
+    if (req.mitigation) {
+        // Preventive refreshes are paced by the Misra-Gries trigger
+        // threshold; an unbounded queue means the tracker is firing
+        // faster than the channel can ever serve.
+        panic_if(req.op != MemOp::Read,
+                 "mitigation requests are maintenance reads");
+        panic_if(mitigationQueue_.size() >= config_.readQueueCap,
+                 "mitigation queue overflow");
+        mitigationQueue_.push_back(req);
+    } else if (req.scrub) {
         // Patrol scrub is paced by the generator; a runaway queue
         // means the pacing logic is broken, not that load is high.
         panic_if(req.op != MemOp::Read, "scrub requests are reads");
@@ -205,6 +226,14 @@ MemoryController::tryIssue(Cycle now)
     candidates.clear();
     gatherCandidates(readQueue_, CandidateSource::ReadQueue, now,
                      candidates);
+    // Preventive refreshes compete at demand priority: Graphene must
+    // beat the aggressor to the hammer threshold, so its refreshes
+    // cannot wait for an idle channel the attacker never yields.
+    if (!mitigationQueue_.empty()) {
+        gatherCandidates(mitigationQueue_,
+                         CandidateSource::MitigationQueue, now,
+                         candidates);
+    }
     // A scrub read stale past its deadline competes with demand.
     if (!scrubQueue_.empty())
         gatherScrubCandidates(now, /*escalated_only=*/true, candidates);
@@ -220,16 +249,17 @@ MemoryController::tryIssue(Cycle now)
         return;
 
     const size_t queued = readQueue_.size() + writeQueue_.size() +
-                          scrubQueue_.size();
+                          scrubQueue_.size() + mitigationQueue_.size();
     const size_t pick = scheduler_->pick(candidates, queued);
     panic_if(pick >= candidates.size(), "scheduler picked out of range");
     const SchedCandidate &chosen = candidates[pick];
 
-    // Remove by recorded position — no re-scan of the three queues.
+    // Remove by recorded position — no re-scan of the four queues.
     std::deque<DramRequest> &q =
         chosen.source == CandidateSource::ReadQueue    ? readQueue_
         : chosen.source == CandidateSource::WriteQueue ? writeQueue_
-                                                       : scrubQueue_;
+        : chosen.source == CandidateSource::ScrubQueue ? scrubQueue_
+                                                       : mitigationQueue_;
     panic_if(chosen.sourceIndex >= q.size() ||
                  q[chosen.sourceIndex].id != chosen.req->id,
              "picked request vanished from queues");
@@ -287,6 +317,52 @@ MemoryController::launch(DramRequest req, Cycle now)
     const Cycle wake_penalty = wakeRank(rank, now);
 
     const DramTiming &t = config_.timing;
+
+    if (req.mitigation) {
+        // Preventive refresh: a maintenance ACT+PRE row cycle on the
+        // victim row — no column access, no data burst, no bus time.
+        // It closes whatever row was open, ending the bank's hit run.
+        const bool was_idle = bank.idle();
+        Cycle lat = wake_penalty + t.rowAccess + t.precharge;
+        if (!was_idle)
+            lat += t.precharge;  // close the open row first
+        std::uint32_t &mrun = hitRun_[req.coord.bank];
+        if (mrun > 0) {
+            stats_.rowHitRunHist.sample(mrun);
+            mrun = 0;
+        }
+        bank.openRow = Bank::kNoRow;
+        bank.readyAt = now + lat;
+        req.issueTime = now;
+        req.rowHit = false;
+        req.bankWasIdle = was_idle;
+        req.completion = now + lat;
+
+        hammer_.onPreventiveRefresh(req.coord.bank, req.coord.row);
+        HammerStats &hs = hammer_.stats();
+        ++hs.mitigationsIssued;
+        hs.mitigationCycles += lat;
+        power_.meterPreventiveRefresh(rank);
+        rankPower_.noteBusyUntil(rank, bank.readyAt);
+
+        if (tracer_) {
+            const int pid = tracePidChannel(channel_);
+            tracer_->asyncStep("dram", "prevref", req.id, pid, now,
+                               "sched");
+            tracer_->slice(pid, traceTidBank(req.coord.bank),
+                           "prevref", now, lat,
+                           Tracer::arg("id", req.id));
+        }
+
+        auto mit = std::upper_bound(
+            inFlight_.begin(), inFlight_.end(), req.completion,
+            [](Cycle c, const DramRequest &r) {
+                return c < r.completion;
+            });
+        inFlight_.insert(mit, std::move(req));
+        return;
+    }
+
     const bool open_mode = config_.pageMode == PageMode::Open;
     const bool hit = open_mode && bank.rowHit(req.coord.row);
     const bool idle = bank.idle();
@@ -304,6 +380,23 @@ MemoryController::launch(DramRequest req, Cycle now)
     }
     // Low-power exit latency delays the command sequence itself.
     access_lat += wake_penalty;
+
+    if (hammer_.active()) {
+        // Every row activation disturbs the neighbors; the tracker
+        // may append preventive-refresh requests the system will
+        // materialize on its next tick.
+        if (!hit) {
+            hammer_.recordActivation(req.coord.bank, req.coord.row,
+                                     injector_, pendingMitigations_);
+        }
+        // A data write overwrites the victim row's content, repairing
+        // any disturbance flips it carried (row-granular abstraction;
+        // see DESIGN.md section 13).
+        if (req.op == MemOp::Write) {
+            hammer_.clearFlips(req.coord.bank, req.coord.row,
+                               /*countAsScrubbed=*/true);
+        }
+    }
 
     // Row-locality run lengths: a miss ends the bank's current run.
     std::uint32_t &run = hitRun_[req.coord.bank];
@@ -407,6 +500,12 @@ MemoryController::serviceRefresh(Cycle now)
                 // the rank just to refresh it.
                 power_.noteRefreshSuppressed();
                 bank.nextRefreshAt = now + interval;
+                if (hammer_.active()) {
+                    // The device refreshed itself: charge restored,
+                    // disturbance window over.
+                    hammer_.onBankRefresh(static_cast<std::uint32_t>(
+                        &bank - banks_.data()));
+                }
             } else if (bank.readyAt > now) {
                 // A refresh due on a busy bank waits for the
                 // in-progress transaction; DDR allows postponing a
@@ -438,6 +537,8 @@ MemoryController::serviceRefresh(Cycle now)
                 stats_.refreshBlockedCycles += exit_lat + duration;
                 power_.meterRefresh(rank);
                 rankPower_.noteBusyUntil(rank, bank.readyAt);
+                if (hammer_.active())
+                    hammer_.onBankRefresh(bank_index);
             }
         }
         next_due = std::min(next_due, bank.nextRefreshAt);
@@ -459,8 +560,8 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
     for (size_t i = 0; i < done; ++i) {
         DramRequest &req = inFlight_[i];
         bool exhausted = false;
-        if (req.op == MemOp::Read && injector_.active() &&
-            injector_.sampleReadError()) {
+        if (req.op == MemOp::Read && !req.mitigation &&
+            injector_.active() && injector_.sampleReadError()) {
             if (req.retries < config_.faults.maxRetries) {
                 // Bounded retry with exponential backoff: the
                 // transaction goes back into its queue and becomes
@@ -497,8 +598,43 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
                           "retriesExhausted stat and dumpState())");
             }
         }
-        if (req.op == MemOp::Read && !exhausted &&
-            injector_.eccActive()) {
+        // Rowhammer corruption surfaces on victim-row reads.  SECDED
+        // corrects a single outstanding flip (and its writeback
+        // repairs the row); two or more flips are a detected
+        // uncorrectable error that persists until a write or scrub.
+        // With ECC off the read is silently corrupt — audited only.
+        bool hammer_handled = false;
+        if (req.op == MemOp::Read && !req.mitigation &&
+            hammer_.active()) {
+            const std::uint32_t flips =
+                hammer_.flipsOn(req.coord.bank, req.coord.row);
+            if (flips > 0) {
+                HammerStats &hs = hammer_.stats();
+                if (config_.ecc.enabled) {
+                    if (flips == 1) {
+                        req.corrected = true;
+                        ++stats_.correctedErrors;
+                        ++hs.victimCorrected;
+                        hammer_.clearFlips(req.coord.bank,
+                                           req.coord.row,
+                                           /*countAsScrubbed=*/false);
+                    } else {
+                        req.poisoned = true;
+                        ++stats_.uncorrectableErrors;
+                        ++hs.victimUncorrectable;
+                    }
+                } else {
+                    ++hs.silentCorruptions;
+                    warn_once(
+                        "rowhammer flip read back with ECC off: "
+                        "silent data corruption (audited via the "
+                        "hammer silentCorruptions stat)");
+                }
+                hammer_handled = true;
+            }
+        }
+        if (req.op == MemOp::Read && !req.mitigation && !exhausted &&
+            !hammer_handled && injector_.eccActive()) {
             switch (injector_.sampleEccRead()) {
               case EccOutcome::Corrected:
                 // Single-bit flip: SECDED fixes it in the controller
@@ -563,7 +699,7 @@ MemoryController::nextEventAt() const
     if (!inFlight_.empty())
         next = std::min(next, inFlight_.front().completion);
     if (!readQueue_.empty() || !writeQueue_.empty() ||
-        !scrubQueue_.empty()) {
+        !scrubQueue_.empty() || !mitigationQueue_.empty()) {
         // A queued request becomes issuable when some bank frees; the
         // conservative answer "next cycle" is cheap and correct.
         Cycle earliest_bank = kCycleNever;
@@ -620,6 +756,9 @@ MemoryController::dumpState(std::ostream &os) const
     // count into outstanding(), and a conservation-checker diagnosis
     // must show every request the count covers.
     dumpQueue(os, "scrubQueue", scrubQueue_);
+    // Same rationale as the scrub queue: mitigation entries count
+    // into outstanding(), so a conservation diagnosis must see them.
+    dumpQueue(os, "mitigationQueue", mitigationQueue_);
     os << "  inFlight (" << inFlight_.size() << "):\n";
     for (const auto &r : inFlight_) {
         os << "    id=" << r.id
@@ -642,6 +781,22 @@ MemoryController::dumpState(std::ostream &os) const
            << " uncorrectable=" << stats_.uncorrectableErrors
            << " checkCycles=" << stats_.eccCheckCycles << "\n";
     }
+    if (config_.hammer.enabled) {
+        const HammerStats &h = hammer_.stats();
+        os << "  hammer: activations=" << h.activations
+           << " crossings=" << h.thresholdCrossings
+           << " flips=" << h.victimFlips
+           << " corrected=" << h.victimCorrected
+           << " uncorrectable=" << h.victimUncorrectable
+           << " silent=" << h.silentCorruptions
+           << " flippedRows=" << hammer_.flippedRows() << "\n";
+        os << "  hammer: mitigationsRequested="
+           << h.mitigationsRequested
+           << " issued=" << h.mitigationsIssued
+           << " cycles=" << h.mitigationCycles
+           << " trackerEvictions=" << h.trackerEvictions
+           << " pending=" << pendingMitigations_.size() << "\n";
+    }
     const PowerStats &p = power_.stats();
     os << "  power: machine="
        << (rankPower_.machineActive() ? "on" : "off")
@@ -650,7 +805,8 @@ MemoryController::dumpState(std::ostream &os) const
        << " actNj=" << p.activateEnergy
        << " rdNj=" << p.readEnergy << " wrNj=" << p.writeEnergy
        << " refNj=" << p.refreshEnergy
-       << " scrubNj=" << p.scrubEnergy << "\n";
+       << " scrubNj=" << p.scrubEnergy
+       << " mitNj=" << p.mitigationEnergy << "\n";
     os << "  power: pdEntries=" << p.powerdownEntries
        << " srEntries=" << p.selfRefreshEntries
        << " exitPenaltyCycles=" << p.exitPenaltyCycles

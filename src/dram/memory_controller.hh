@@ -37,6 +37,7 @@
 #include "dram/fault_injector.hh"
 #include "dram/power_model.hh"
 #include "dram/power_state.hh"
+#include "dram/row_hammer.hh"
 #include "dram/scheduler.hh"
 
 namespace smtdram
@@ -130,12 +131,36 @@ class MemoryController
     outstanding() const
     {
         return readQueue_.size() + writeQueue_.size() +
-               scrubQueue_.size() + inFlight_.size();
+               scrubQueue_.size() + mitigationQueue_.size() +
+               inFlight_.size();
     }
 
     size_t queuedReads() const { return readQueue_.size(); }
     size_t queuedWrites() const { return writeQueue_.size(); }
     size_t queuedScrubs() const { return scrubQueue_.size(); }
+    size_t queuedMitigations() const { return mitigationQueue_.size(); }
+
+    /**
+     * Hand the preventive refreshes the aggressor tracker has
+     * requested (appended to @p out, internal list cleared).  The
+     * DRAM system turns each into a maintenance DramRequest so ids
+     * and conservation checking stay centralized, mirroring how
+     * patrol-scrub traffic is generated.
+     */
+    void
+    takePendingMitigations(std::vector<MitigationRequest> &out)
+    {
+        out.insert(out.end(), pendingMitigations_.begin(),
+                   pendingMitigations_.end());
+        pendingMitigations_.clear();
+    }
+
+    /** True if the tracker has refreshes awaiting materialization. */
+    bool
+    hasPendingMitigations() const
+    {
+        return !pendingMitigations_.empty();
+    }
 
     bool busy() const { return outstanding() > 0; }
 
@@ -157,7 +182,8 @@ class MemoryController
     {
         return !injector_.active() && inFlight_.empty() &&
                readQueue_.empty() && writeQueue_.empty() &&
-               scrubQueue_.empty() &&
+               scrubQueue_.empty() && mitigationQueue_.empty() &&
+               pendingMitigations_.empty() &&
                (!config_.refreshEnabled() || now < nextRefreshDue_);
     }
 
@@ -171,12 +197,20 @@ class MemoryController
     {
         stats_ = ControllerStats();
         injector_.resetStats();
+        hammer_.resetStats();
         power_.reset();
         rankPower_.resetAccounting(now);
     }
 
     /** Faults actually injected into this channel so far. */
     const FaultStats &faultStats() const { return injector_.stats(); }
+
+    /** Rowhammer disturbance/mitigation activity on this channel. */
+    const HammerStats &hammerStats() const { return hammer_.stats(); }
+
+    /** The channel's disturbance model (tests poke at flips). */
+    RowHammerModel &hammerModel() { return hammer_; }
+    const RowHammerModel &hammerModel() const { return hammer_; }
 
     /** Energy/power accounting of this channel (always on). */
     const PowerStats &powerStats() const { return power_.stats(); }
@@ -229,6 +263,8 @@ class MemoryController
             fn(r);
         for (const auto &r : scrubQueue_)
             fn(r);
+        for (const auto &r : mitigationQueue_)
+            fn(r);
         for (const auto &r : inFlight_)
             fn(r);
     }
@@ -272,6 +308,8 @@ class MemoryController
     std::uint32_t channel_;
     std::unique_ptr<Scheduler> scheduler_;
     FaultInjector injector_;
+    /** Disturbance model + aggressor tracker (inert when off). */
+    RowHammerModel hammer_;
     Tracer *tracer_ = nullptr;
     std::vector<Bank> banks_;
     /** Per-bank consecutive row-hit run in progress. */
@@ -285,6 +323,11 @@ class MemoryController
     std::deque<DramRequest> writeQueue_;
     /** ECC patrol-scrub reads; lowest priority unless escalated. */
     std::deque<DramRequest> scrubQueue_;
+    /** Rowhammer preventive refreshes; compete with demand reads. */
+    std::deque<DramRequest> mitigationQueue_;
+    /** Refreshes the tracker requested but the system has not yet
+     *  materialized into queued maintenance commands. */
+    std::vector<MitigationRequest> pendingMitigations_;
     /** Launched transactions ordered by completion time. */
     std::vector<DramRequest> inFlight_;
     bool drainingWrites_ = false;

@@ -66,6 +66,12 @@ PowerModel::meterRefresh(std::uint32_t rank)
 }
 
 void
+PowerModel::meterPreventiveRefresh(std::uint32_t rank)
+{
+    add(stats_.mitigationEnergy, actNj_ + preNj_, rank);
+}
+
+void
 PowerModel::meterEntryPrecharges(std::uint32_t rank,
                                  std::uint32_t closed_rows)
 {

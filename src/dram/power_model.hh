@@ -46,6 +46,8 @@ struct PowerStats {
     double writeEnergy = 0.0;      ///< write bursts
     double refreshEnergy = 0.0;    ///< auto-refresh commands
     double scrubEnergy = 0.0;      ///< patrol-scrub ACT/PRE/bursts
+    /** Rowhammer preventive refreshes (ACT+PRE per command). */
+    double mitigationEnergy = 0.0;
     /** Running total, incremented in lockstep with every component
      *  add; the conservation property test asserts it equals the
      *  component sum. */
@@ -77,7 +79,8 @@ struct PowerStats {
     componentEnergy() const
     {
         return backgroundEnergy + activateEnergy + readEnergy +
-               writeEnergy + refreshEnergy + scrubEnergy;
+               writeEnergy + refreshEnergy + scrubEnergy +
+               mitigationEnergy;
     }
 
     /** Average power over @p cycles core cycles at @p cpu_mhz, mW. */
@@ -112,6 +115,10 @@ class PowerModel
 
     /** Meter one per-bank auto-refresh command. */
     void meterRefresh(std::uint32_t rank);
+
+    /** Meter one rowhammer preventive refresh: an ACT+PRE row cycle
+     *  on the victim row, no data burst. */
+    void meterPreventiveRefresh(std::uint32_t rank);
 
     /** Meter the precharges implied by powerdown entry. */
     void meterEntryPrecharges(std::uint32_t rank,

@@ -67,6 +67,8 @@ enum class CandidateSource : std::uint8_t {
     ReadQueue,
     WriteQueue,
     ScrubQueue,
+    /** Rowhammer preventive refreshes (maintenance commands). */
+    MitigationQueue,
 };
 
 /** View of a queued request the scheduler may rank. */

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "workload/hammer_workload.hh"
 
 namespace smtdram
 {
@@ -13,8 +14,14 @@ profilesForMix(const WorkloadMix &mix)
 {
     std::vector<AppProfile> apps;
     apps.reserve(mix.apps.size());
-    for (const std::string &name : mix.apps)
-        apps.push_back(specProfile(name));
+    for (const std::string &name : mix.apps) {
+        // Hostile mixes (hostileMix()) splice adversarial hammer
+        // threads in alongside the SPEC names.
+        if (isHammerProfileName(name))
+            apps.push_back(hammerProfile(name));
+        else
+            apps.push_back(specProfile(name));
+    }
     return apps;
 }
 
@@ -91,6 +98,25 @@ configSignature(const SystemConfig &config)
                       (unsigned long long)d.faults.seed);
         sig += fbuf;
     }
+    if (d.hammer.active()) {
+        // The disturbance model changes victim-read outcomes and (with
+        // mitigation) injects preventive-refresh traffic; every knob
+        // and the dedicated seed are timing- or outcome-relevant.
+        char hbuf[96];
+        std::snprintf(hbuf, sizeof(hbuf),
+                      "-ham%llu,%g,%u,s%llu",
+                      (unsigned long long)d.hammer.hammerThreshold,
+                      d.hammer.flipProbability, d.hammer.blastRadius,
+                      (unsigned long long)d.hammer.seed);
+        sig += hbuf;
+        if (d.hammer.mitigates()) {
+            std::snprintf(hbuf, sizeof(hbuf), "-mit%u,%llu",
+                          d.hammer.trackerCapacity,
+                          (unsigned long long)
+                              d.hammer.mitigationThreshold);
+            sig += hbuf;
+        }
+    }
     return sig;
 }
 
@@ -103,7 +129,9 @@ simulateAloneIpc(const std::string &app, const SystemConfig &config,
     // Baseline runs share the mix's config but must not clobber its
     // observability outputs (same file paths) — run them dark.
     alone.observe = ObservabilityConfig{};
-    SmtSystem system(alone, {specProfile(app)}, params.seed);
+    const AppProfile &profile =
+        isHammerProfileName(app) ? hammerProfile(app) : specProfile(app);
+    SmtSystem system(alone, {profile}, params.seed);
     const RunResult r =
         system.run(params.measureInsts, params.warmupInsts);
     return r.ipc.at(0);
@@ -131,6 +159,8 @@ simulateMixRun(const SystemConfig &config, const WorkloadMix &mix,
         out.readLatencyP99 = static_cast<std::uint64_t>(
             out.run.dram.readLatencyHist.p99());
     }
+    out.victimFlips = out.run.hammer.victimFlips;
+    out.preventiveRefreshes = out.run.hammer.mitigationsIssued;
     out.totalEnergyNj = out.run.power.totalEnergy;
     out.avgPowerMw = out.run.power.averagePowerMw(
         config.dram.timing.cpuMhz, out.run.measuredCycles);

@@ -36,6 +36,10 @@ struct MixRun {
     std::uint64_t scrubReads = 0;
     /** Reads whose fault-injection retry budget ran out. */
     std::uint64_t retriesExhausted = 0;
+    /** Rowhammer bit flips landed on victim rows (run.hammer). */
+    std::uint64_t victimFlips = 0;
+    /** Graphene-triggered preventive refreshes issued. */
+    std::uint64_t preventiveRefreshes = 0;
 
     // --- Latency-distribution summary (from the always-on log
     //     histogram; means alone hide queueing-tail differences) ---

@@ -187,6 +187,108 @@ SmtSystem::registerStats()
                              });
         }
     }
+    r.registerScalar("dram.power.mitigation_energy_nj", [this] {
+        return dram_->aggregatePowerStats().mitigationEnergy;
+    });
+
+    // Per-channel injected-fault counters.  Registered even when
+    // injection is off (all zeros): sweeps comparing faulty vs clean
+    // configs then diff identical column sets.
+    for (std::uint32_t c = 0; c < dram_->channels(); ++c) {
+        const std::string p = "dram.ch" + std::to_string(c) +
+                              ".faults.";
+        r.registerScalar(p + "bus_stalls", [this, c] {
+            return static_cast<double>(
+                dram_->channelFaultStats(c).busStalls);
+        });
+        r.registerScalar(p + "bus_stall_cycles", [this, c] {
+            return static_cast<double>(
+                dram_->channelFaultStats(c).busStallCycles);
+        });
+        r.registerScalar(p + "read_errors", [this, c] {
+            return static_cast<double>(
+                dram_->channelFaultStats(c).readErrors);
+        });
+        r.registerScalar(p + "enqueue_delays", [this, c] {
+            return static_cast<double>(
+                dram_->channelFaultStats(c).enqueueDelays);
+        });
+        r.registerScalar(p + "enqueue_delay_cycles", [this, c] {
+            return static_cast<double>(
+                dram_->channelFaultStats(c).enqueueDelayCycles);
+        });
+        r.registerScalar(p + "ecc_single_bit", [this, c] {
+            return static_cast<double>(
+                dram_->channelFaultStats(c).eccSingleBit);
+        });
+        r.registerScalar(p + "ecc_multi_bit", [this, c] {
+            return static_cast<double>(
+                dram_->channelFaultStats(c).eccMultiBit);
+        });
+    }
+
+    // Rowhammer disturbance/mitigation counters (zeros when the
+    // model is off, same diff-ability rationale as above).
+    r.registerScalar("dram.hammer.activations", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().activations);
+    });
+    r.registerScalar("dram.hammer.threshold_crossings", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().thresholdCrossings);
+    });
+    r.registerScalar("dram.hammer.victim_flips", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().victimFlips);
+    });
+    r.registerScalar("dram.hammer.victim_corrected", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().victimCorrected);
+    });
+    r.registerScalar("dram.hammer.victim_uncorrectable", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().victimUncorrectable);
+    });
+    r.registerScalar("dram.hammer.silent_corruptions", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().silentCorruptions);
+    });
+    r.registerScalar("dram.hammer.flips_scrubbed", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().flipsScrubbed);
+    });
+    r.registerScalar("dram.hammer.window_resets", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().windowResets);
+    });
+    r.registerScalar("dram.hammer.mitigations_requested", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().mitigationsRequested);
+    });
+    r.registerScalar("dram.hammer.mitigations_issued", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().mitigationsIssued);
+    });
+    r.registerScalar("dram.hammer.mitigation_cycles", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().mitigationCycles);
+    });
+    r.registerScalar("dram.hammer.tracker_evictions", [this] {
+        return static_cast<double>(
+            dram_->aggregateHammerStats().trackerEvictions);
+    });
+    for (std::uint32_t c = 0; c < dram_->channels(); ++c) {
+        const std::string p = "dram.ch" + std::to_string(c) +
+                              ".hammer.";
+        r.registerScalar(p + "victim_flips", [this, c] {
+            return static_cast<double>(
+                dram_->channelHammerStats(c).victimFlips);
+        });
+        r.registerScalar(p + "mitigations_issued", [this, c] {
+            return static_cast<double>(
+                dram_->channelHammerStats(c).mitigationsIssued);
+        });
+    }
 
     // Per-thread CPU counters.
     for (std::uint32_t t = 0; t < config_.core.numThreads; ++t) {
@@ -301,15 +403,16 @@ SmtSystem::prewarmCaches(const std::vector<AppProfile> &apps)
     const std::uint64_t chunk = config_.hierarchy.pageBytes;
     const std::uint64_t cold_cap = config_.hierarchy.l3.sizeBytes;
 
-    // A Streaming/Strided cold set larger than the L3 is compulsory
-    // missing in steady state (every access is a new line forever),
-    // so pre-warming it would fake locality the workload does not
-    // have.  Anything that fits the L3 is resident in steady state
-    // and is pre-warmed whatever its pattern.
+    // A Streaming/Strided/RowHammer cold set larger than the L3 is
+    // compulsory missing in steady state (every access is a new line
+    // forever), so pre-warming it would fake locality the workload
+    // does not have.  Anything that fits the L3 is resident in steady
+    // state and is pre-warmed whatever its pattern.
     auto cold_prewarm_bytes = [cold_cap](const AppProfile &a) {
         if (a.coldBytes > cold_cap &&
             (a.coldPattern == AccessPattern::Streaming ||
-             a.coldPattern == AccessPattern::Strided)) {
+             a.coldPattern == AccessPattern::Strided ||
+             a.coldPattern == AccessPattern::RowHammer)) {
             return std::uint64_t{0};
         }
         return std::min<std::uint64_t>(a.coldBytes, cold_cap);
@@ -488,6 +591,7 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     res.dram = dram_->aggregateStats();
     dram_->syncPower(now_);
     res.power = dram_->aggregatePowerStats();
+    res.hammer = dram_->aggregateHammerStats();
     const std::uint64_t row_total =
         res.dram.rowHits + res.dram.rowEmpty + res.dram.rowConflicts;
     res.rowMissRate = row_total ? res.dram.rowMissRate() : 0.0;

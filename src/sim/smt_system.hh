@@ -20,6 +20,7 @@
 #include "common/trace_event.hh"
 #include "cpu/smt_core.hh"
 #include "dram/power_model.hh"
+#include "dram/row_hammer.hh"
 #include "sim/system_config.hh"
 #include "workload/spec2000.hh"
 #include "workload/synthetic_stream.hh"
@@ -38,6 +39,8 @@ struct RunResult {
     ControllerStats dram;
     /** Energy/power over the measurement window (always metered). */
     PowerStats power;
+    /** Rowhammer disturbance/mitigation counters (zero when off). */
+    HammerStats hammer;
     double rowMissRate = 0.0;
     /** Main-memory accesses (reads) per 100 committed instructions. */
     double memAccessPer100 = 0.0;

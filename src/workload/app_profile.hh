@@ -37,6 +37,8 @@ enum class AccessPattern : std::uint8_t {
     PointerChase, ///< serialized random (each address depends on the
                   ///< previous load's value)
     Mixed,        ///< half streaming, half random
+    RowHammer,    ///< adversarial: alternate activations of same-bank
+                  ///< aggressor rows with periodic victim-row reads
 };
 
 /** All knobs of one application model. */
@@ -101,6 +103,27 @@ struct AppProfile {
      * concurrent misses; a linked-list traversal sustains one).
      */
     std::uint32_t chaseChains = 1;
+
+    // Rowhammer adversarial pattern (coldPattern == RowHammer).  The
+    // cold set is carved into "groups": each group holds `hammerSides`
+    // aggressor rows at even multiples of `hammerRowStrideBytes` (the
+    // physical-address distance between adjacent rows of the same
+    // bank), with the victim rows at the odd multiples between them.
+    // The stream alternates aggressor activations (side innermost, so
+    // consecutive accesses conflict in the same bank and every access
+    // costs an ACT), walks the row's columns so lines are not
+    // cache-resident, and every `hammerVictimPeriod`-th cold access
+    // reads a victim row instead — surfacing accumulated flips.
+    /** Aggressor rows per group: 1 single-, 2 double-, N many-sided. */
+    std::uint32_t hammerSides = 2;
+    /** Same-bank adjacent-row PA stride (channels*banks*rowBytes). */
+    std::uint32_t hammerRowStrideBytes = 32768;
+    /** PA bytes spanned by one row's columns (channels*rowBytes). */
+    std::uint32_t hammerColumnSpanBytes = 8192;
+    /** Victim-site groups cycled over (footprint control). */
+    std::uint32_t hammerGroups = 320;
+    /** Every Nth cold access reads a victim row; 0 = never. */
+    std::uint32_t hammerVictimPeriod = 16;
 
     // ILP shape.
     double depMean = 6.0;   ///< mean producer distance

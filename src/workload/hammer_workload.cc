@@ -1,0 +1,137 @@
+#include "workload/hammer_workload.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+std::uint32_t
+sidesFor(HammerPattern pattern)
+{
+    switch (pattern) {
+      case HammerPattern::SingleSided: return 1;
+      case HammerPattern::DoubleSided: return 2;
+      case HammerPattern::ManySided: return 8;
+    }
+    panic("unknown HammerPattern %d", static_cast<int>(pattern));
+}
+
+const char *
+nameFor(HammerPattern pattern)
+{
+    switch (pattern) {
+      case HammerPattern::SingleSided: return "hammer-single";
+      case HammerPattern::DoubleSided: return "hammer-double";
+      case HammerPattern::ManySided: return "hammer-many";
+    }
+    panic("unknown HammerPattern %d", static_cast<int>(pattern));
+}
+
+} // namespace
+
+AppProfile
+hammerProfile(HammerPattern pattern, const DramConfig &dram)
+{
+    AppProfile a;
+    a.name = nameFor(pattern);
+    a.category = AppCategory::Mem;
+
+    // The attack loop is load-only: stores on a victim row would
+    // rewrite it and (in the disturbance model) repair its flips,
+    // hiding exactly the corruption the experiment measures.
+    a.loadFrac = 0.50;
+    a.storeFrac = 0.0;
+    a.branchFrac = 0.05;
+    a.branchNoise = 0.0;
+    a.loopLength = 64;
+    a.mulFrac = 0.0;
+
+    // Tight attack kernel: tiny code/hot footprints, nearly every
+    // memory reference aimed at the aggressor arena, no phasing —
+    // real hammer loops do not pause.
+    a.codeBytes = 4 * 1024;
+    a.hotBytes = 4 * 1024;
+    a.coldFrac = 0.95;
+    a.memPhaseFrac = 1.0;
+    a.coldPattern = AccessPattern::RowHammer;
+
+    a.hammerSides = sidesFor(pattern);
+    // Same-bank adjacent rows are channels*banks*rowBytes apart under
+    // Line channel interleave + PageInterleave bank mapping; one
+    // row's columns span channels*rowBytes contiguous PA bytes.
+    a.hammerRowStrideBytes = dram.logicalChannels() *
+                             dram.banksPerChannel() *
+                             dram.effectiveRowBytes();
+    a.hammerColumnSpanBytes =
+        dram.logicalChannels() * dram.effectiveRowBytes();
+
+    // Size the arena to ~40 MiB so it defeats a 4 MiB L3 even once
+    // the sweep wraps.  One group spans 2*sides rows (aggressors at
+    // even multiples, victims at odd).
+    const std::uint64_t group_span =
+        2ull * a.hammerSides * a.hammerRowStrideBytes;
+    std::uint64_t groups = (40 * MiB) / group_span;
+    if (groups == 0)
+        groups = 1;
+    a.hammerGroups = static_cast<std::uint32_t>(groups);
+    a.coldBytes = groups * group_span;
+    a.hammerVictimPeriod = 16;
+
+    // Independent loads with little ILP structure: the attack is
+    // bandwidth-bound, not dependence-bound.
+    a.depMean = 3.0;
+    a.dep2Frac = 0.1;
+    a.depFreeFrac = 0.5;
+    a.callFrac = 0.0;
+    return a;
+}
+
+const AppProfile &
+hammerProfile(const std::string &name)
+{
+    static const std::unordered_map<std::string, AppProfile> table = [] {
+        // Table 1 2-channel DDR SDRAM geometry (the paper default the
+        // fig12 sweep runs on): stride 32768, column span 8192.
+        const DramConfig dram = DramConfig::ddrSdram(2);
+        std::unordered_map<std::string, AppProfile> t;
+        for (auto p : {HammerPattern::SingleSided,
+                       HammerPattern::DoubleSided,
+                       HammerPattern::ManySided}) {
+            AppProfile a = hammerProfile(p, dram);
+            t.emplace(a.name, std::move(a));
+        }
+        return t;
+    }();
+    auto it = table.find(name);
+    fatal_if(it == table.end(),
+             "unknown hammer profile '%s' (expected hammer-single, "
+             "hammer-double, or hammer-many)", name.c_str());
+    return it->second;
+}
+
+bool
+isHammerProfileName(const std::string &name)
+{
+    return name.rfind("hammer-", 0) == 0;
+}
+
+WorkloadMix
+hostileMix(const std::string &base_mix, const std::string &hammer_name)
+{
+    const WorkloadMix &base = mixByName(base_mix);
+    hammerProfile(hammer_name);  // validate the name up front
+    WorkloadMix mix;
+    mix.name = base.name + "+" + hammer_name;
+    mix.apps = base.apps;
+    mix.apps.push_back(hammer_name);
+    return mix;
+}
+
+} // namespace smtdram

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Adversarial rowhammer workload family.
+ *
+ * Profiles whose cold-set pattern is AccessPattern::RowHammer, with
+ * the aggressor/victim geometry derived from the DRAM organization so
+ * the VA arithmetic lands on same-bank adjacent rows.  Three named
+ * variants ("hammer-single", "hammer-double", "hammer-many") cover
+ * the classic attack shapes; hostileMix() appends a hammer thread to
+ * any Table 2 mix, modeling a hostile co-runner inside an SMT mix.
+ *
+ * The geometry assumes line-interleaved channels and page-interleaved
+ * bank mapping (MappingScheme::PageInterleave): under XorPermute the
+ * bank XOR diffuses row adjacency and the "attack" degenerates into
+ * plain streaming — itself an interesting data point fig12 shows.
+ */
+
+#ifndef SMTDRAM_WORKLOAD_HAMMER_WORKLOAD_HH
+#define SMTDRAM_WORKLOAD_HAMMER_WORKLOAD_HH
+
+#include <string>
+
+#include "dram/dram_config.hh"
+#include "workload/app_profile.hh"
+#include "workload/spec2000.hh"
+
+namespace smtdram
+{
+
+/** Classic rowhammer attack shapes. */
+enum class HammerPattern : std::uint8_t {
+    SingleSided, ///< one aggressor per group
+    DoubleSided, ///< victim sandwiched between two aggressors
+    ManySided,   ///< many aggressors (TRR-evasion style)
+};
+
+/**
+ * Build a hammer profile whose row geometry matches @p dram (line
+ * channel interleave assumed).  The arena is sized well past a 4 MiB
+ * L3 so steady state never turns cache-resident.
+ */
+AppProfile hammerProfile(HammerPattern pattern, const DramConfig &dram);
+
+/**
+ * Lookup by name: "hammer-single", "hammer-double", "hammer-many"
+ * (geometry of the Table 1 2-channel DDR SDRAM system); fatal()s on
+ * anything else.
+ */
+const AppProfile &hammerProfile(const std::string &name);
+
+/** True if @p name names a hammer profile. */
+bool isHammerProfileName(const std::string &name);
+
+/**
+ * A Table 2 mix plus one hostile hammer thread, e.g.
+ * hostileMix("2-MEM", "hammer-double") -> "2-MEM+hammer-double".
+ */
+WorkloadMix hostileMix(const std::string &base_mix,
+                       const std::string &hammer_name);
+
+} // namespace smtdram
+
+#endif // SMTDRAM_WORKLOAD_HAMMER_WORKLOAD_HH

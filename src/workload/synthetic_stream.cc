@@ -44,6 +44,23 @@ SyntheticStream::SyntheticStream(const AppProfile &profile,
                  1.0,
              "%s: instruction mix fractions exceed 1",
              profile_.name.c_str());
+    if (profile_.coldPattern == AccessPattern::RowHammer) {
+        fatal_if(profile_.hammerSides == 0,
+                 "%s: rowhammer pattern needs at least one aggressor",
+                 profile_.name.c_str());
+        fatal_if(profile_.hammerRowStrideBytes < 64 ||
+                     profile_.hammerColumnSpanBytes < 64,
+                 "%s: hammer stride/span below one line",
+                 profile_.name.c_str());
+        const std::uint64_t span = 2ULL * profile_.hammerSides *
+                                   profile_.hammerRowStrideBytes;
+        fatal_if(profile_.coldBytes < span,
+                 "%s: cold set smaller than one hammer group "
+                 "(%llu < %llu bytes)",
+                 profile_.name.c_str(),
+                 (unsigned long long)profile_.coldBytes,
+                 (unsigned long long)span);
+    }
     callStack_.reserve(64);
     phaseOffset_ = rng_.below(std::max(1u, profile_.phasePeriod));
 }
@@ -102,6 +119,49 @@ SyntheticStream::coldAddress()
                 rng_.below(2 * profile_.coldRunLines - 1));
         }
         return kColdBase + runCursor_ + rng_.below(8) * 8;
+      }
+      case AccessPattern::RowHammer: {
+        const std::uint64_t stride = profile_.hammerRowStrideBytes;
+        const std::uint64_t span =
+            2ULL * profile_.hammerSides * stride;
+        const std::uint32_t groups =
+            std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                       profile_.hammerGroups,
+                       profile_.coldBytes / span)));
+        const std::uint32_t col_lines = std::max<std::uint32_t>(
+            1, profile_.hammerColumnSpanBytes / 64);
+
+        ++hVisit_;
+        if (profile_.hammerVictimPeriod > 0 &&
+            hVisit_ % profile_.hammerVictimPeriod == 0) {
+            // Victim-row read: the odd row offsets between/around the
+            // aggressors.  Rotates victims and columns so flips on
+            // every victim surface and the lines are not resident.
+            const std::uint64_t vrow = 2ULL * hVictimIdx_ + 1;
+            const Addr a = static_cast<Addr>(hGroup_) * span +
+                           vrow * stride + hVictimCol_ * 64ULL;
+            if (++hVictimIdx_ >= profile_.hammerSides) {
+                hVictimIdx_ = 0;
+                if (++hVictimCol_ >= col_lines)
+                    hVictimCol_ = 0;
+            }
+            return kColdBase + a;
+        }
+
+        // Aggressor activation.  Side is the innermost cursor, so
+        // consecutive accesses alternate aggressor rows of the same
+        // bank — a guaranteed row conflict, i.e. one ACT per access.
+        const Addr a = static_cast<Addr>(hGroup_) * span +
+                       2ULL * hSide_ * stride + hColumn_ * 64ULL;
+        if (++hSide_ >= profile_.hammerSides) {
+            hSide_ = 0;
+            if (++hColumn_ >= col_lines) {
+                hColumn_ = 0;
+                hGroup_ = (hGroup_ + 1) % groups;
+            }
+        }
+        return kColdBase + a;
       }
       case AccessPattern::Mixed:
         if (rng_.chance(0.5)) {

@@ -56,6 +56,14 @@ class SyntheticStream : public InstStream
     /** Sequential-run state for Random/PointerChase locality. */
     Addr runCursor_ = 0;
     std::uint32_t runRemaining_ = 0;
+    /** RowHammer cursors: aggressor side, column, group, and the
+     *  rotating victim pointer (see AppProfile hammer knobs). */
+    std::uint32_t hSide_ = 0;
+    std::uint32_t hColumn_ = 0;
+    std::uint32_t hGroup_ = 0;
+    std::uint32_t hVictimIdx_ = 0;
+    std::uint32_t hVictimCol_ = 0;
+    std::uint64_t hVisit_ = 0;
     /** Seed-derived phase shift decorrelating threads' mem phases. */
     std::uint64_t phaseOffset_ = 0;
     /** Stream indices of each chase chain's latest load. */

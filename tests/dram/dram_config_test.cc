@@ -146,6 +146,69 @@ TEST(DramConfigDeathTest, FaultProbabilityOutOfRangeRejected)
                 "probabilities");
 }
 
+TEST(DramConfigDeathTest, HammerZeroThresholdRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.withHammer(/*threshold=*/0);
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "hammer threshold");
+}
+
+TEST(DramConfigDeathTest, HammerFlipProbabilityOutOfRangeRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.withHammer(4096, /*flip_probability=*/1.5);
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "flip probability");
+}
+
+TEST(DramConfigDeathTest, HammerZeroBlastRadiusRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.withHammer(4096, 0.001, /*blast_radius=*/0);
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "blast radius|hammer");
+}
+
+TEST(DramConfigDeathTest, MitigationWithoutDisturbanceModelRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.hammer.mitigation = true;  // enabled stays false
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "without the disturbance");
+}
+
+TEST(DramConfigDeathTest, HammerZeroTrackerCapacityRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.withHammer().withHammerMitigation(/*tracker_capacity=*/0);
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "tracker");
+}
+
+TEST(DramConfigDeathTest, MitigationThresholdPastHammerRejected)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    c.withHammer(/*threshold=*/1024)
+        .withHammerMitigation(16, /*mitigation_threshold=*/1024);
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "lose the race");
+}
+
+TEST(DramConfig, HammerChainablesComposeAndValidate)
+{
+    DramConfig c = DramConfig::ddrSdram(2);
+    EXPECT_FALSE(c.hammer.active());
+    EXPECT_FALSE(c.hammer.mitigates());
+    c.withHammer(512, 0.01, 2).withHammerMitigation(8, 128);
+    EXPECT_TRUE(c.hammer.active());
+    EXPECT_TRUE(c.hammer.mitigates());
+    EXPECT_EQ(c.hammer.hammerThreshold, 512u);
+    EXPECT_EQ(c.hammer.blastRadius, 2u);
+    EXPECT_EQ(c.hammer.trackerCapacity, 8u);
+    EXPECT_EQ(c.hammer.mitigationThreshold, 128u);
+    c.validate();  // must not fatal()
+}
+
 TEST(DramConfig, RefreshDefaultsValidateAndSignalEnabled)
 {
     DramConfig c = DramConfig::ddrSdram(2);

@@ -306,5 +306,42 @@ TEST(GoldenFigures, Fig10Schedulers)
     checkGolden("fig10_schedulers", text);
 }
 
+TEST(GoldenFigures, Fig11Energy)
+{
+    // Mirrors bench/fig11_energy.cpp reduced to its 2-MEM rows: the
+    // low-power machine swept over channel counts and schedulers,
+    // with DRAM energy per committed instruction as the headline
+    // metric.  Pins the power model (incl. rank low-power states)
+    // against silent drift.
+    const WorkloadMix &mix = mixByName("2-MEM");
+    const auto threads =
+        static_cast<std::uint32_t>(mix.apps.size());
+    std::string text;
+    for (std::uint32_t channels : {1u, 2u, 4u}) {
+        for (SchedulerKind scheduler : allSchedulerKinds()) {
+            SystemConfig config = SystemConfig::paperDefault(threads);
+            const MappingScheme mapping = config.dram.mapping;
+            config.dram = DramConfig::ddrSdram(channels);
+            config.dram.mapping = mapping;
+            config.dram.withPowerManagement();
+            config.scheduler = scheduler;
+            const std::string label = "2-MEM." +
+                                      std::to_string(channels) +
+                                      "ch." +
+                                      schedulerName(scheduler);
+            const MixRun r = ctx().runMix(config, mix);
+            appendRun(text, label, r);
+            std::uint64_t insts = 0;
+            for (std::uint64_t c : r.run.committed)
+                insts += c;
+            appendMetric(text, label + ".energy_per_inst_nj",
+                         insts ? r.totalEnergyNj /
+                                     static_cast<double>(insts)
+                               : 0.0);
+        }
+    }
+    checkGolden("fig11_energy", text);
+}
+
 } // namespace
 } // namespace smtdram

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/experiment.hh"
+#include "workload/hammer_workload.hh"
 
 namespace smtdram
 {
@@ -104,6 +105,62 @@ TEST(ConfigSignature, DistinguishesMemoryConfigurations)
     // Thread count is not part of the memory-system signature.
     SystemConfig threads = SystemConfig::paperDefault(4);
     EXPECT_EQ(configSignature(threads), sig);
+}
+
+TEST(ConfigSignature, HammerBlockOnlyWhenEnabled)
+{
+    const SystemConfig base = SystemConfig::paperDefault(2);
+    const std::string sig = configSignature(base);
+    EXPECT_EQ(sig.find("-ham"), std::string::npos);
+
+    // Inert hammer knobs must not splinter the baseline cache: only
+    // `enabled` gates the block.
+    SystemConfig inert = base;
+    inert.dram.hammer.hammerThreshold = 1;
+    inert.dram.hammer.seed = 999;
+    EXPECT_EQ(configSignature(inert), sig);
+
+    SystemConfig on = base;
+    on.dram.withHammer(512, 0.01, 2);
+    const std::string on_sig = configSignature(on);
+    EXPECT_NE(on_sig.find("-ham"), std::string::npos);
+    EXPECT_EQ(on_sig.find("-mit"), std::string::npos);
+
+    // Every disturbance knob and the seed are outcome-relevant.
+    SystemConfig seed = on;
+    seed.dram.hammer.seed = 999;
+    EXPECT_NE(configSignature(seed), on_sig);
+    SystemConfig thr = on;
+    thr.dram.hammer.hammerThreshold = 256;
+    EXPECT_NE(configSignature(thr), on_sig);
+
+    SystemConfig mit = on;
+    mit.dram.withHammerMitigation(8, 64);
+    const std::string mit_sig = configSignature(mit);
+    EXPECT_NE(mit_sig.find("-mit"), std::string::npos);
+    EXPECT_NE(mit_sig, on_sig);
+    SystemConfig cap = mit;
+    cap.dram.hammer.trackerCapacity = 4;
+    EXPECT_NE(configSignature(cap), mit_sig);
+}
+
+TEST(ProfilesForMix, ResolvesHammerThreadsInHostileMixes)
+{
+    const WorkloadMix mix = hostileMix("2-MEM", "hammer-double");
+    EXPECT_EQ(mix.name, "2-MEM+hammer-double");
+    const auto apps = profilesForMix(mix);
+    ASSERT_EQ(apps.size(), 3u);
+    EXPECT_EQ(apps[2].name, "hammer-double");
+    EXPECT_EQ(apps[2].coldPattern, AccessPattern::RowHammer);
+    EXPECT_EQ(apps[2].hammerSides, 2u);
+    // Geometry must match the Table 1 2-channel DDR system: adjacent
+    // same-bank rows are channels*banks*rowBytes apart.
+    const DramConfig dram = DramConfig::ddrSdram(2);
+    EXPECT_EQ(apps[2].hammerRowStrideBytes,
+              dram.logicalChannels() * dram.banksPerChannel() *
+                  dram.effectiveRowBytes());
+    // Stores would repair the victims the experiment measures.
+    EXPECT_EQ(apps[2].storeFrac, 0.0);
 }
 
 TEST(ExperimentContext, PerConfigBaselinesDiffer)
