@@ -9,6 +9,7 @@
 #define SMTDRAM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,30 @@ declareCommonFlags(Flags &flags)
     flags.declare("mixes", "",
                   "comma-separated subset of Table 2 mixes (default: "
                   "the figure's own set)");
+    flags.declare("kernel", "",
+                  "simulation kernel: 'cycle' (tick every cycle) or "
+                  "'event' (skip to the next pending event); both are "
+                  "proven byte-identical, default is the per-cycle "
+                  "kernel");
+}
+
+/**
+ * Apply --kernel by exporting the process-wide SMTDRAM_KERNEL
+ * override before the first SmtSystem is built, so every run a bench
+ * performs — including the cached alone-IPC baselines — uses the
+ * same kernel.  Called from contextFromFlags/paramsFromFlags, which
+ * every simulating bench funnels through.
+ */
+inline void
+applyKernelFlag(const Flags &flags)
+{
+    const std::string kernel = flags.getString("kernel");
+    if (kernel.empty())
+        return;
+    fatal_if(kernel != "cycle" && kernel != "event",
+             "--kernel must be 'cycle' or 'event', got '%s'",
+             kernel.c_str());
+    setenv("SMTDRAM_KERNEL", kernel.c_str(), /*overwrite=*/1);
 }
 
 /**
@@ -250,6 +275,7 @@ applyRobustnessFlags(const Flags &flags, SystemConfig &config)
 inline ExperimentContext
 contextFromFlags(const Flags &flags)
 {
+    applyKernelFlag(flags);
     return ExperimentContext(
         static_cast<std::uint64_t>(flags.getInt("insts")),
         static_cast<std::uint64_t>(flags.getInt("warmup")),
@@ -287,6 +313,7 @@ jobsFromFlags(const Flags &flags)
 inline ExperimentParams
 paramsFromFlags(const Flags &flags)
 {
+    applyKernelFlag(flags);
     ExperimentParams p;
     p.measureInsts = static_cast<std::uint64_t>(flags.getInt("insts"));
     p.warmupInsts = static_cast<std::uint64_t>(flags.getInt("warmup"));

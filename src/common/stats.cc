@@ -33,6 +33,20 @@ Histogram::sample(std::uint64_t v)
 }
 
 void
+Histogram::sample(std::uint64_t v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        ++i;
+    counts_[i] += count;
+    total_ += count;
+    if (v < raw_.size())
+        raw_[v] += count;
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);

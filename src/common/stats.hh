@@ -80,6 +80,15 @@ class Histogram
     /** Record one observation of value @p v. */
     void sample(std::uint64_t v);
 
+    /**
+     * Record @p count observations of value @p v at once — the
+     * interval-weighted form used by the event-driven kernel, which
+     * accounts a whole skipped window of identical per-cycle samples
+     * in one call.  Exactly equivalent to calling sample(v) @p count
+     * times.
+     */
+    void sample(std::uint64_t v, std::uint64_t count);
+
     void reset();
 
     std::uint64_t total() const { return total_; }

@@ -577,4 +577,86 @@ SmtCore::cycle(Cycle now)
     drainWriteBuffer(now);
 }
 
+Cycle
+SmtCore::nextEventAt(Cycle now) const
+{
+    // Draining the write buffer touches the hierarchy every cycle
+    // (even a Blocked probe updates TLB/MSHR bookkeeping), so no
+    // cycle with a pending store may be skipped.
+    if (!writeBuffer_.empty())
+        return now + 1;
+
+    Cycle next = kCycleNever;
+    if (!completions_.empty())
+        next = std::min(next, completions_.top().when);
+
+    for (ThreadId tid = 0; tid < config_.numThreads; ++tid) {
+        const ThreadState &t = threads_[tid];
+
+        // Commit: the oldest in-flight instruction is done.
+        if (t.robHead < t.robTail &&
+            robSlot(tid, t.robHead).state == DynInst::State::Completed)
+            return now + 1;
+
+        // Dispatch: mirror dispatchStage's structural checks on the
+        // front-of-queue instruction.  With no space, dispatch stays
+        // stalled until some other event frees a resource.
+        if (!t.fetchQueue.empty()) {
+            const FetchedInst &f = t.fetchQueue.front();
+            const bool is_fp = isFpClass(f.op.cls);
+            const bool space =
+                !(t.robTail - t.robHead >= config_.robPerThread ||
+                  (is_fp ? fpIq_.size() >= config_.fpIqSize
+                         : intIq_.size() >= config_.intIqSize) ||
+                  (producesValue(f.op.cls) &&
+                   (is_fp ? freeFpRegs_ == 0 : freeIntRegs_ == 0)) ||
+                  (f.op.cls == OpClass::Load &&
+                   lqUsed_ >= config_.lqSize) ||
+                  (f.op.cls == OpClass::Store &&
+                   sqUsed_ >= config_.sqSize));
+            if (space) {
+                if (f.readyAt <= now + 1)
+                    return now + 1;
+                next = std::min(next, f.readyAt);
+            }
+        }
+
+        // Fetch: mirror fetchStage's fetchable predicate.  Only the
+        // redirect penalty is a pure timer; every other gate clears
+        // through an event covered elsewhere.
+        if (t.stream != nullptr && !t.icacheBlocked &&
+            !t.awaitingBranch &&
+            t.fetchQueue.size() < config_.fetchQueueCap) {
+            if (t.fetchResumeAt <= now + 1)
+                return now + 1;
+            next = std::min(next, t.fetchResumeAt);
+        }
+    }
+
+    // Issue: any queue entry with both producers ready would issue
+    // (or, for a load, replay a blocked cache probe) next cycle.
+    for (const IqRef &ref : intIq_) {
+        const DynInst &slot = robSlot(ref.tid, ref.seq);
+        if (producerReady(ref.tid, ref.seq, slot.op.dep1) &&
+            producerReady(ref.tid, ref.seq, slot.op.dep2))
+            return now + 1;
+    }
+    for (const IqRef &ref : fpIq_) {
+        const DynInst &slot = robSlot(ref.tid, ref.seq);
+        if (producerReady(ref.tid, ref.seq, slot.op.dep1) &&
+            producerReady(ref.tid, ref.seq, slot.op.dep2))
+            return now + 1;
+    }
+    return next;
+}
+
+void
+SmtCore::skipCycles(std::uint64_t count)
+{
+    cyclesRun_ += count;
+    commitRotation_ += count;
+    dispatchRotation_ += count;
+    fetchRotation_ += count;
+}
+
 } // namespace smtdram

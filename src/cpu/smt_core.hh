@@ -63,6 +63,30 @@ class SmtCore
     /** Simulate one cycle at time @p now. */
     void cycle(Cycle now);
 
+    /**
+     * Earliest cycle > @p now at which cycle() could do anything
+     * beyond bumping the rotation counters, assuming no external
+     * input (cache-fill events, DRAM completions) arrives first —
+     * those are covered by the system-level event sources.  Returns
+     * now + 1 whenever any stage has actionable work next cycle
+     * (committable ROB head, issuable IQ entry — including a blocked
+     * load replay, dispatchable or fetchable thread, pending write
+     * buffer); otherwise the min over the future wake-ups the core
+     * itself knows (FU completions, decode readyAt, redirect
+     * fetchResumeAt); kCycleNever if it is fully quiescent.  Cycles
+     * in between are provably no-ops except the rotation counters,
+     * which skipCycles() replays exactly.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    /**
+     * Account @p count skipped no-op cycles: advances cyclesRun_ and
+     * the fetch/dispatch/commit rotation counters exactly as @p count
+     * idle cycle() calls would have, so round-robin tie-breaking
+     * after the skip is bit-identical to the per-cycle kernel.
+     */
+    void skipCycles(std::uint64_t count);
+
     const CoreConfig &config() const { return config_; }
 
     const ThreadPerf &perf(ThreadId tid) const { return perf_[tid]; }

@@ -225,6 +225,20 @@ DramSystem::tick(Cycle now)
     }
 }
 
+Cycle
+DramSystem::nextEventAt(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    // Scrub deadlines: serviceScrub fires exactly at s.nextAt (any
+    // deadline <= now was bumped by the tick that just ran, or the
+    // idle fast-path guarantees it is still in the future).
+    for (const ScrubState &s : scrub_)
+        next = std::min(next, std::max(s.nextAt, now + 1));
+    for (const MemoryController &mc : controllers_)
+        next = std::min(next, mc.nextEventAt(now));
+    return next;
+}
+
 bool
 DramSystem::busy() const
 {

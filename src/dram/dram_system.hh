@@ -71,6 +71,16 @@ class DramSystem
         return true;
     }
 
+    /**
+     * Earliest cycle > @p now at which tick() could do anything: the
+     * min over every channel's MemoryController::nextEventAt and the
+     * per-channel patrol-scrub deadlines.  kCycleNever when the whole
+     * memory system is quiescent.  The checker's amortized age scan
+     * is deliberately not an event source — every scan of a healthy
+     * run passes, so its cadence is unobservable (see DESIGN.md §14).
+     */
+    Cycle nextEventAt(Cycle now) const;
+
     /** Called once per completed read, in completion order. */
     void setReadCallback(ReadCallback cb) { readCallback_ = std::move(cb); }
 

@@ -693,20 +693,49 @@ MemoryController::tick(Cycle now, std::vector<DramRequest> &completed)
 }
 
 Cycle
-MemoryController::nextEventAt() const
+MemoryController::nextEventAt(Cycle now) const
 {
+    // The fault injector draws a random number every tick and
+    // mitigation requests materialize on the system's next tick:
+    // skipping either would desync RNG streams or delay preventive
+    // refresh observably, so both pin the clock to real stepping.
+    if (injector_.active() || !pendingMitigations_.empty())
+        return now + 1;
+
     Cycle next = kCycleNever;
     if (!inFlight_.empty())
         next = std::min(next, inFlight_.front().completion);
-    if (!readQueue_.empty() || !writeQueue_.empty() ||
-        !scrubQueue_.empty() || !mitigationQueue_.empty()) {
-        // A queued request becomes issuable when some bank frees; the
-        // conservative answer "next cycle" is cheap and correct.
-        Cycle earliest_bank = kCycleNever;
-        for (const auto &bank : banks_)
-            earliest_bank = std::min(earliest_bank, bank.readyAt);
-        next = std::min(next, earliest_bank);
+
+    if (config_.refreshEnabled()) {
+        for (const Bank &bank : banks_) {
+            // A future deadline is itself the event; one already due
+            // on a busy bank fires when the bank frees.
+            next = std::min(next, bank.nextRefreshAt > now
+                                      ? bank.nextRefreshAt
+                                      : bank.readyAt);
+        }
     }
+
+    // Earliest cycle any queued request could be gathered as a
+    // scheduling candidate.  Bank state and the bus window are frozen
+    // between events, so the per-request bound is exact under frozen
+    // state; anything that changes it earlier (a retire, a refresh)
+    // is already in the min above.  Candidates clamp to now + 1
+    // because tryIssue launches at most one transaction per cycle.
+    const Cycle bus_gate =
+        busFreeAt_ > maxBusLead_ ? busFreeAt_ - maxBusLead_ : 0;
+    const auto queue_next = [&](const std::deque<DramRequest> &queue) {
+        for (const DramRequest &req : queue) {
+            Cycle t = std::max(req.notBefore,
+                               banks_[req.coord.bank].readyAt);
+            t = std::max(t, bus_gate);
+            next = std::min(next, std::max(t, now + 1));
+        }
+    };
+    queue_next(readQueue_);
+    queue_next(writeQueue_);
+    queue_next(scrubQueue_);
+    queue_next(mitigationQueue_);
     return next;
 }
 

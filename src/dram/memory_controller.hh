@@ -165,10 +165,17 @@ class MemoryController
     bool busy() const { return outstanding() > 0; }
 
     /**
-     * Earliest cycle at which calling tick() again can make progress;
-     * kCycleNever when idle.  Lets the system skip dead cycles.
+     * Earliest cycle > @p now at which tick() could do anything —
+     * exactly the first cycle a transaction retires, a refresh
+     * deadline can fire, or a queued request becomes a scheduling
+     * candidate; kCycleNever when fully idle.  Returns now + 1
+     * whenever the clock must be stepped for real (active fault
+     * injector drawing per-cycle RNG, un-materialized mitigation
+     * requests, or any already-actionable work).  The event-driven
+     * kernel never skips past this bound, and every cycle strictly
+     * before it is provably a controller no-op.
      */
-    Cycle nextEventAt() const;
+    Cycle nextEventAt(Cycle now) const;
 
     /**
      * True when tick(@p now) would be a no-op: nothing queued or in

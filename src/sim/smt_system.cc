@@ -1,6 +1,8 @@
 #include "sim/smt_system.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <ostream>
@@ -13,11 +15,40 @@
 namespace smtdram
 {
 
+namespace
+{
+
+/**
+ * Process-wide kernel override: SMTDRAM_KERNEL=cycle|event flips
+ * every SmtSystem built in this process, so whole harnesses (the
+ * golden suite, the benches) run the other kernel as a CI matrix leg
+ * without plumbing a flag through every construction site.  Read
+ * once; both kernels are proven byte-identical so this never changes
+ * results, only how fast they are produced.
+ */
+KernelMode
+kernelMode(KernelMode configured)
+{
+    static const char *env = std::getenv("SMTDRAM_KERNEL");
+    if (!env || !*env)
+        return configured;
+    if (!std::strcmp(env, "event") || !std::strcmp(env, "event-driven"))
+        return KernelMode::EventDriven;
+    if (!std::strcmp(env, "cycle") || !std::strcmp(env, "per-cycle"))
+        return KernelMode::PerCycle;
+    fatal_if(true, "SMTDRAM_KERNEL must be 'cycle' or 'event', "
+                   "got '%s'", env);
+    return configured;
+}
+
+} // namespace
+
 SmtSystem::SmtSystem(const SystemConfig &config,
                      const std::vector<AppProfile> &apps,
                      std::uint64_t seed)
     : config_(config)
 {
+    config_.kernel = kernelMode(config_.kernel);
     fatal_if(apps.size() != config_.core.numThreads,
              "%zu application profiles for %u hardware threads",
              apps.size(), config_.core.numThreads);
@@ -472,6 +503,43 @@ SmtSystem::stepCycle()
     core_->cycle(now_);
 }
 
+std::uint64_t
+SmtSystem::skipToNextEvent(Cycle clamp)
+{
+    // Core first, with early-outs: in an active compute phase the
+    // core answers now_ + 1 almost immediately and the (costlier)
+    // DRAM scan never runs, so event-driven mode adds near-zero
+    // overhead exactly where it cannot win anything.
+    Cycle next = core_->nextEventAt(now_);
+    if (next > now_ + 1 && hierarchy_->pendingWritebacks() > 0)
+        next = now_ + 1;  // writeback drain retries every cycle
+    if (next > now_ + 1)
+        next = std::min(next, events_.nextEventAt());
+    if (next > now_ + 1)
+        next = std::min(next, dram_->nextEventAt(now_));
+    if (next <= now_ + 1)
+        return 0;
+    if (next == kCycleNever && clamp == kCycleNever) {
+        // The per-cycle kernel would spin forever here (no watchdog
+        // to catch it); a diagnosed abort beats a silent hang.
+        dumpState(std::cerr);
+        panic("event-driven kernel: no component reports a pending "
+              "event at cycle %llu and no watchdog/epoch deadline "
+              "bounds the jump — the machine is deadlocked",
+              (unsigned long long)now_);
+    }
+    next = std::min(next, clamp);
+    if (next <= now_ + 1)
+        return 0;
+    // Every cycle in (now_, next) is a proven no-op; replay its only
+    // side effect (the rotation counters) and land one cycle short so
+    // the event cycle itself is stepped for real.
+    const std::uint64_t skipped = next - now_ - 1;
+    core_->skipCycles(skipped);
+    now_ = next - 1;
+    return skipped;
+}
+
 RunResult
 SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
 {
@@ -501,10 +569,26 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
     watchdog.kick(now_);
     const auto dump = [this] { dumpState(std::cerr); };
 
+    // Skip-to-next-event kernel: jump over provably idle stretches
+    // instead of ticking them.  A tracer forces per-cycle stepping —
+    // fetch-stall spans open on the tick *after* the gating state
+    // arises, and skipping that tick would shift span timestamps.
+    const bool event_driven =
+        config_.kernel == KernelMode::EventDriven && !tracer_;
+    // The watchdog's expiry cycle must be real-stepped so it fires on
+    // exactly the same cycle as under the per-cycle kernel.
+    const auto watchdog_clamp = [&watchdog] {
+        return watchdog.bound() > 0
+                   ? watchdog.lastProgressAt() + watchdog.bound() + 1
+                   : kCycleNever;
+    };
+
     // ---- Warm-up phase (caches, predictor, DRAM state) ----
     std::vector<std::uint64_t> zero(n, 0);
     std::uint64_t last_total = core_->totalCommittedInsts();
     while (!all_committed(warmup_insts, 0, zero)) {
+        if (event_driven)
+            skipToNextEvent(watchdog_clamp());
         stepCycle();
         const std::uint64_t total = core_->totalCommittedInsts();
         if (total != last_total) {
@@ -540,6 +624,30 @@ SmtSystem::run(std::uint64_t measure_insts, std::uint64_t warmup_insts)
 
     // ---- Measured phase ----
     while (!all_committed(measure_insts, grand_base, base)) {
+        if (event_driven) {
+            // Epoch boundaries are clamps too: the boundary cycle is
+            // real-stepped, so sampleEpoch() fires on exactly the
+            // cycles the per-cycle kernel samples.
+            Cycle clamp = watchdog_clamp();
+            if (config_.observe.epoch > 0) {
+                clamp = std::min(clamp,
+                                 lastEpochAt_ + config_.observe.epoch);
+            }
+            const std::uint64_t skipped = skipToNextEvent(clamp);
+            if (skipped > 0 && dram_->busy()) {
+                // Interval-weighted Figure 4/5 sampling: the DRAM
+                // state is frozen across the skipped window, so the
+                // per-cycle kernel would have recorded these exact
+                // values once per skipped cycle.
+                const size_t outstanding =
+                    dram_->outstandingRequests();
+                res.outstandingHist.sample(outstanding, skipped);
+                if (outstanding >= 2) {
+                    res.threadsHist.sample(
+                        dram_->distinctThreadsOutstanding(), skipped);
+                }
+            }
+        }
         stepCycle();
 
         // Observability epoch boundary (off unless epoch > 0).

@@ -117,6 +117,16 @@ class SmtSystem
     /** Advance the machine one cycle. */
     void stepCycle();
 
+    /**
+     * Event-driven kernel: jump the clock to just before the global
+     * min next-event cycle (core, event queue, hierarchy writebacks,
+     * DRAM), clamped to @p clamp so epoch boundaries and the watchdog
+     * expiry are always real-stepped.  Returns how many provably
+     * no-op cycles were skipped (0 when the next cycle has work);
+     * the caller then stepCycle()s the event cycle itself normally.
+     */
+    std::uint64_t skipToNextEvent(Cycle clamp);
+
     /** Register every component's stats into registry_. */
     void registerStats();
 

@@ -7,6 +7,7 @@
 #ifndef SMTDRAM_SIM_SYSTEM_CONFIG_HH
 #define SMTDRAM_SIM_SYSTEM_CONFIG_HH
 
+#include <cstdint>
 #include <string>
 
 #include "cache/cache_config.hh"
@@ -52,6 +53,19 @@ struct ObservabilityConfig {
     }
 };
 
+/**
+ * Main-loop flavor.  PerCycle ticks every simulated cycle; EventDriven
+ * computes the global min next-event cycle across the core, the event
+ * queue, and the DRAM system and jumps straight there.  The two are
+ * proven byte-identical by the differential kernel equivalence suite,
+ * so — like ObservabilityConfig — the knob is deliberately excluded
+ * from configSignature() and golden figures gate both settings.
+ */
+enum class KernelMode : std::uint8_t {
+    PerCycle,
+    EventDriven,
+};
+
 /** Everything needed to instantiate one simulated machine. */
 struct SystemConfig {
     CoreConfig core;
@@ -59,6 +73,13 @@ struct SystemConfig {
     DramConfig dram = DramConfig::ddrSdram(2);
     SchedulerKind scheduler = SchedulerKind::HitFirst;
     ObservabilityConfig observe;
+    /**
+     * Which main loop drives the run.  The SMTDRAM_KERNEL environment
+     * variable ("cycle" / "event"), read once per process, overrides
+     * this so whole harnesses (goldens, benches) can be flipped for a
+     * CI leg without plumbing a flag through every call site.
+     */
+    KernelMode kernel = KernelMode::PerCycle;
     /**
      * Forward-progress watchdog: every thread must commit something
      * within this many cycles or the run aborts with a state dump

@@ -129,6 +129,35 @@ TEST(Histogram, EmptyFractions)
     EXPECT_DOUBLE_EQ(h.fractionAbove(1), 0.0);
 }
 
+TEST(Histogram, WeightedSampleEqualsRepeatedSamples)
+{
+    // The interval-weighted form the event-driven kernel uses must be
+    // exactly equivalent to the per-cycle kernel's repeated calls —
+    // including the raw per-value tallies behind fractionAbove().
+    Histogram repeated({1, 4, 8, 16});
+    Histogram weighted({1, 4, 8, 16});
+    const std::uint64_t values[] = {0, 3, 8, 17, 200};
+    const std::uint64_t counts[] = {5, 1, 119, 42, 7};
+    for (size_t i = 0; i < 5; ++i) {
+        for (std::uint64_t n = 0; n < counts[i]; ++n)
+            repeated.sample(values[i]);
+        weighted.sample(values[i], counts[i]);
+    }
+    ASSERT_EQ(repeated.total(), weighted.total());
+    for (size_t i = 0; i < repeated.numBuckets(); ++i)
+        EXPECT_EQ(repeated.bucketCount(i), weighted.bucketCount(i));
+    for (std::uint64_t v : {0u, 1u, 4u, 8u, 16u, 128u, 199u})
+        EXPECT_DOUBLE_EQ(repeated.fractionAbove(v),
+                         weighted.fractionAbove(v));
+}
+
+TEST(Histogram, WeightedSampleOfZeroCountIsANoOp)
+{
+    Histogram h({1, 4});
+    h.sample(3, 0);
+    EXPECT_EQ(h.total(), 0u);
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h({1, 2});

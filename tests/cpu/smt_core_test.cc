@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "common/random.hh"
@@ -295,6 +296,97 @@ TEST(SmtCore, UnboundThreadIsIdle)
     h.run(5000);
     EXPECT_GT(h.core.perf(0).committedInsts, 0u);
     EXPECT_EQ(h.core.perf(1).committedInsts, 0u);
+}
+
+TEST(SmtCoreNextEvent, QuiescentCoreReportsNever)
+{
+    // No stream bound anywhere: cycle() can never do more than bump
+    // rotation counters, which is exactly what the sentinel means.
+    CoreConfig config;
+    config.numThreads = 2;
+    CoreHarness h(config);
+    EXPECT_EQ(h.core.nextEventAt(0), kCycleNever);
+    h.run(100);
+    EXPECT_EQ(h.core.nextEventAt(100), kCycleNever);
+}
+
+TEST(SmtCoreNextEvent, BoundStreamIsActionableNextCycle)
+{
+    CoreConfig config;
+    config.numThreads = 1;
+    CoreHarness h(config);
+    FixedStream stream(alu());
+    h.core.bindStream(0, &stream);
+    // Fetchable work means the very next tick does something real.
+    EXPECT_EQ(h.core.nextEventAt(0), 1u);
+}
+
+TEST(SmtCoreNextEvent, NeverSleepsThroughACommit)
+{
+    // The contract the skip kernel relies on: the core may answer
+    // kCycleNever while its pending event lives elsewhere (an icache
+    // fill in flight in the DRAM system), but the system-wide minimum
+    // over {core, event queue, DRAM} must always be finite, and
+    // whenever the core commits on cycle c it must have announced an
+    // event no later than c on cycle c-1.
+    CoreConfig config;
+    config.numThreads = 1;
+    CoreHarness h(config);
+    FixedStream stream(alu());
+    h.core.bindStream(0, &stream);
+    std::uint64_t committed = 0;
+    bool saw_core_event = false;
+    for (Cycle c = 1; c <= 800; ++c) {
+        const Cycle core_next = h.core.nextEventAt(c - 1);
+        const Cycle system_next =
+            std::min({core_next, h.events.nextEventAt(),
+                      h.dram.nextEventAt(c - 1)});
+        ASSERT_NE(system_next, kCycleNever) << "deadlock at " << c;
+        ASSERT_GE(system_next, c);
+        h.run(1);
+        const std::uint64_t now_committed =
+            h.core.perf(0).committedInsts;
+        if (now_committed > committed) {
+            // A commit at c was announced: the core itself reported
+            // an actionable event no later than this cycle.
+            EXPECT_LE(core_next, c) << "commit at " << c
+                                    << " was not announced";
+            saw_core_event = true;
+        }
+        committed = now_committed;
+    }
+    EXPECT_TRUE(saw_core_event);
+    EXPECT_GT(committed, 0u);
+}
+
+TEST(SmtCoreNextEvent, SkipCyclesReplaysIdleTickingExactly)
+{
+    // Two identical 2-thread machines: A really ticks 137 quiescent
+    // cycles, B skips them with skipCycles(137).  Binding the same
+    // streams afterwards must produce identical per-thread progress —
+    // the rotation counters that arbitrate round-robin ties between
+    // the threads advance the same way in both machines.
+    CoreConfig config;
+    config.numThreads = 2;
+    CoreHarness a(config);
+    CoreHarness b(config);
+    a.run(137);
+    b.core.skipCycles(137);
+    EXPECT_EQ(a.core.cyclesRun(), b.core.cyclesRun());
+
+    FixedStream a0(alu()), a1(alu(1)), b0(alu()), b1(alu(1));
+    a.core.bindStream(0, &a0);
+    a.core.bindStream(1, &a1);
+    b.core.bindStream(0, &b0);
+    b.core.bindStream(1, &b1);
+    a.run(500);
+    b.run(500);
+    EXPECT_EQ(a.core.cyclesRun(), b.core.cyclesRun());
+    EXPECT_GT(a.core.perf(0).committedInsts, 0u);
+    EXPECT_EQ(a.core.perf(0).committedInsts,
+              b.core.perf(0).committedInsts);
+    EXPECT_EQ(a.core.perf(1).committedInsts,
+              b.core.perf(1).committedInsts);
 }
 
 TEST(SmtCoreDeathTest, TooFewRegistersRejected)

@@ -277,7 +277,7 @@ TEST(MemoryController, NextEventAtIdleIsNever)
 {
     const DramConfig config = singleChannelDdr();
     MemoryController mc(config, SchedulerKind::Fcfs);
-    EXPECT_EQ(mc.nextEventAt(), kCycleNever);
+    EXPECT_EQ(mc.nextEventAt(0), kCycleNever);
     EXPECT_FALSE(mc.busy());
 }
 

@@ -107,6 +107,17 @@ TEST(ConfigSignature, DistinguishesMemoryConfigurations)
     EXPECT_EQ(configSignature(threads), sig);
 }
 
+TEST(ConfigSignature, KernelModeIsInert)
+{
+    // Both kernels are proven byte-identical by the differential
+    // equivalence suite, so the knob must not splinter alone-IPC
+    // cache keys (same contract as the observability block).
+    const SystemConfig base = SystemConfig::paperDefault(2);
+    SystemConfig event = base;
+    event.kernel = KernelMode::EventDriven;
+    EXPECT_EQ(configSignature(event), configSignature(base));
+}
+
 TEST(ConfigSignature, HammerBlockOnlyWhenEnabled)
 {
     const SystemConfig base = SystemConfig::paperDefault(2);
