@@ -381,6 +381,24 @@ banner(const std::string &figure, const std::string &what,
     std::printf("paper: %s\n\n", paper_claim.c_str());
 }
 
+/**
+ * One incremental progress line on stdout, suppressed by --quiet.
+ * Benches must route per-epoch/per-run chatter through here rather
+ * than a bare printf, so --quiet output is exactly the result tables
+ * (an audit of current benches found none printing unconditionally;
+ * this helper keeps it that way).
+ */
+template <typename... Args>
+inline void
+progress(const char *fmt, Args... args)
+{
+    if (logVerbosity() == LogVerbosity::Quiet)
+        return;
+    std::printf(fmt, args...);
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
 /** Row-major results table printed with workloads as rows. */
 class ResultTable
 {

@@ -47,8 +47,12 @@ namespace smtdram
 class StatsRegistry
 {
   public:
-    /** Bumped whenever the exported document layout changes. */
-    static constexpr std::uint32_t kSchemaVersion = 1;
+    /** Bumped whenever the exported document layout changes.
+     *  v2: latency-blame scalars/histograms (dram.blame.*), per-thread
+     *  CPI-stack scalars (cpu.t<i>.blame.*), interference matrix
+     *  (dram.interference.*), trace.dropped_events, and per-channel
+     *  power-residency/hammer-mitigation series. */
+    static constexpr std::uint32_t kSchemaVersion = 2;
     static constexpr const char *kSchemaName = "smtdram-stats";
 
     using ScalarFn = std::function<double()>;

@@ -177,6 +177,14 @@ Tracer::asyncEnd(const char *cat, const char *name, std::uint64_t id,
 void
 Tracer::flush()
 {
+    if (dropped_ > 0) {
+        // The stats JSON carries the same count as trace.dropped_events;
+        // warn so an interactively truncated trace is not mistaken for
+        // a complete one.
+        warn_once("trace buffer overflowed: %llu event(s) dropped "
+                  "(raise the trace event cap for a complete trace)",
+                  (unsigned long long)dropped_);
+    }
     // Timestamp-sorted output: viewers accept any order, but sorted
     // events make the file diffable and let tests assert monotonic
     // timestamps with a linear scan.

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "dram/blame.hh"
 
 namespace smtdram
 {
@@ -31,6 +32,16 @@ struct Bank {
      * deadlines across banks so refreshes don't align.
      */
     Cycle nextRefreshAt = kCycleNever;
+    /**
+     * Why the bank is busy until readyAt, and for whom — metadata for
+     * latency-blame attribution only (never consulted for timing).
+     * Set whenever readyAt is pushed forward: demand/scrub/mitigation
+     * launches and refreshes each stamp their own cause and owning
+     * thread (kThreadNone for maintenance and writebacks), so requests
+     * arriving mid-window know what is blocking them.
+     */
+    BlameComponent busyCause = BlameComponent::Queueing;
+    ThreadId busyOwner = kThreadNone;
 
     bool
     rowHit(std::uint32_t row) const

@@ -43,6 +43,13 @@ ConservationChecker::onComplete(const DramRequest &req, Cycle now)
     }
     live_.erase(it);
     ++completed_;
+    // Latency-blame conservation: every cycle of the request's
+    // lifetime must be attributed to exactly one component.
+    if (req.blame.sum() != req.completion - req.arrival) {
+        fail("checker: request id %llu violates blame conservation "
+             "(sum of components %llu != lifetime %llu)",
+             req.id, req.blame.sum(), req.completion - req.arrival);
+    }
 }
 
 void

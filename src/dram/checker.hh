@@ -12,7 +12,9 @@
  *    (no duplicated or invented completions);
  *  - no request completes twice;
  *  - no outstanding request ages past a configurable bound
- *    (starvation / livelock detection).
+ *    (starvation / livelock detection);
+ *  - latency-blame conservation: on completion the per-request blame
+ *    components sum exactly to completion - arrival (see blame.hh).
  *
  * On violation it invokes a caller-supplied state dump and panics,
  * replacing a silent hang or silently wrong figure with a diagnostic.

@@ -314,6 +314,14 @@ DramSystem::aggregateStats() const
         agg.readLatencyHist.merge(s.readLatencyHist);
         agg.queueDepthHist.merge(s.queueDepthHist);
         agg.rowHitRunHist.merge(s.rowHitRunHist);
+        agg.blameTotals.merge(s.blameTotals);
+        for (std::size_t c = 0; c < kNumBlameComponents; ++c)
+            agg.blameHist[c].merge(s.blameHist[c]);
+        if (agg.perThreadBlame.size() < s.perThreadBlame.size())
+            agg.perThreadBlame.resize(s.perThreadBlame.size());
+        for (std::size_t t = 0; t < s.perThreadBlame.size(); ++t)
+            agg.perThreadBlame[t].merge(s.perThreadBlame[t]);
+        agg.interference.merge(s.interference);
         // Merge the latency distributions sample-count-weighted.
         // Distribution has no merge; rebuild from moments.
         // (count/sum/min/max are sufficient for what we report.)

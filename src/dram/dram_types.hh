@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "dram/blame.hh"
 
 namespace smtdram
 {
@@ -67,6 +68,17 @@ struct DramRequest {
      *  ACT+PRE on a victim row that restores its charge.  Moves no
      *  data, never delivered through the read callback. */
     bool mitigation = false;
+
+    /**
+     * Where every cycle since arrival went (see blame.hh).  Maintained
+     * by the controller at event points; conservation
+     * `blame.sum() == completion - arrival` holds once the request is
+     * fully accounted (launch) and is asserted by the shadow checker.
+     */
+    LatencyBlame blame;
+    /** Cycle up to which this request's lifetime has been attributed.
+     *  Monotone; intervals before it are never re-accounted. */
+    Cycle blameUpTo = 0;
 
     // --- Filled in by the controller when the transaction executes ---
     Cycle issueTime = 0;      ///< cycle the transaction left the queue

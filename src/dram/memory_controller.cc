@@ -122,6 +122,19 @@ MemoryController::enqueue(DramRequest req)
         if (d > 0)
             req.notBefore = std::max(req.notBefore, req.arrival + d);
     }
+    // Blame: anchor attribution at arrival, then account any window
+    // already standing against this request (busy bank, engaged bus
+    // gate) so a mid-window arrival attributes its wait correctly.
+    // Retried requests re-enter via retire(), not here.
+    if (req.blameUpTo < req.arrival)
+        req.blameUpTo = req.arrival;
+    const Bank &bank = banks_[req.coord.bank];
+    if (bank.readyAt > req.arrival)
+        accountWaitUntil(req, bank.readyAt, bank.busyCause, bank.busyOwner);
+    if (busFreeAt_ > req.arrival + maxBusLead_) {
+        accountWaitUntil(req, busFreeAt_ - maxBusLead_, busGateCause_,
+                         busOwner_);
+    }
     if (req.mitigation) {
         // Preventive refreshes are paced by the Misra-Gries trigger
         // threshold; an unbounded queue means the tracker is firing
@@ -145,6 +158,85 @@ MemoryController::enqueue(DramRequest req)
         panic_if(!canAcceptWrite(), "write queue overflow");
         writeQueue_.push_back(req);
     }
+}
+
+void
+MemoryController::accountWaitUntil(DramRequest &r, Cycle until,
+                                   BlameComponent cause, ThreadId owner)
+{
+    if (until <= r.blameUpTo)
+        return;
+    Cycle from = r.blameUpTo;
+    r.blameUpTo = until;
+    // The slice a request spends embargoed by its own notBefore
+    // (retry backoff, injected enqueue delay) is fault-retry: those
+    // cycles are nobody else's occupancy even when a busy-resource
+    // window happens to overlap them.
+    if (r.notBefore > from) {
+        const Cycle fault_end = std::min(r.notBefore, until);
+        r.blame.add(BlameComponent::FaultRetry, fault_end - from);
+        from = fault_end;
+        if (from >= until)
+            return;
+    }
+    const std::uint64_t cycles = until - from;
+    r.blame.add(cause, cycles);
+    // Occupancy-type waits on demand reads feed the who-stalled-whom
+    // matrix; arbitration and service-phase cycles do not.
+    const bool occupancy = cause == BlameComponent::Queueing ||
+                           cause == BlameComponent::RefreshStall ||
+                           cause == BlameComponent::ScrubInterference ||
+                           cause == BlameComponent::HammerMitigation;
+    if (occupancy && r.op == MemOp::Read && !r.scrub &&
+        !r.mitigation && r.thread != kThreadNone) {
+        stats_.interference.add(r.thread, owner, cycles);
+    }
+}
+
+void
+MemoryController::accountBlocked(DramRequest &r, Cycle now, Cycle end,
+                                 BlameComponent cause, ThreadId owner)
+{
+    accountWaitUntil(r, now, BlameComponent::SchedulerDeferral,
+                     kThreadNone);
+    accountWaitUntil(r, end, cause, owner);
+}
+
+void
+MemoryController::accountBankWindow(std::uint32_t bank_index, Cycle now)
+{
+    const Bank &bank = banks_[bank_index];
+    if (bank.readyAt <= now)
+        return;
+    const auto sweep = [&](std::deque<DramRequest> &queue) {
+        for (DramRequest &r : queue) {
+            if (r.coord.bank == bank_index) {
+                accountBlocked(r, now, bank.readyAt, bank.busyCause,
+                               bank.busyOwner);
+            }
+        }
+    };
+    sweep(readQueue_);
+    sweep(writeQueue_);
+    sweep(scrubQueue_);
+    sweep(mitigationQueue_);
+}
+
+void
+MemoryController::accountBusGate(Cycle now, BlameComponent cause,
+                                 ThreadId owner)
+{
+    if (busFreeAt_ <= now + maxBusLead_)
+        return;
+    const Cycle gate_end = busFreeAt_ - maxBusLead_;
+    const auto sweep = [&](std::deque<DramRequest> &queue) {
+        for (DramRequest &r : queue)
+            accountBlocked(r, now, gate_end, cause, owner);
+    };
+    sweep(readQueue_);
+    sweep(writeQueue_);
+    sweep(scrubQueue_);
+    sweep(mitigationQueue_);
 }
 
 void
@@ -338,6 +430,18 @@ MemoryController::launch(DramRequest req, Cycle now)
         req.bankWasIdle = was_idle;
         req.completion = now + lat;
 
+        // Blame: close the wait gap, decompose the service window,
+        // and charge queued same-bank requests with the new window.
+        accountWaitUntil(req, now, BlameComponent::SchedulerDeferral,
+                         kThreadNone);
+        req.blame.add(BlameComponent::PowerExit, wake_penalty);
+        req.blame.add(BlameComponent::HammerMitigation,
+                      lat - wake_penalty);
+        req.blameUpTo = req.completion;
+        bank.busyCause = BlameComponent::HammerMitigation;
+        bank.busyOwner = kThreadNone;
+        accountBankWindow(req.coord.bank, now);
+
         hammer_.onPreventiveRefresh(req.coord.bank, req.coord.row);
         HammerStats &hs = hammer_.stats();
         ++hs.mitigationsIssued;
@@ -433,6 +537,31 @@ MemoryController::launch(DramRequest req, Cycle now)
     req.bankWasIdle = idle;
     req.completion = data_end + t.controllerOverhead;
 
+    // Blame: close the wait gap at launch, then decompose the service
+    // phase analytically — sums to completion - now by construction.
+    accountWaitUntil(req, now, BlameComponent::SchedulerDeferral,
+                     kThreadNone);
+    req.blame.add(BlameComponent::PowerExit, wake_penalty);
+    req.blame.add(BlameComponent::BankConflict,
+                  access_lat - wake_penalty - t.columnAccess);
+    const Cycle ecc_overhead =
+        config_.ecc.enabled ? config_.ecc.checkOverheadCycles : 0;
+    req.blame.add(BlameComponent::EccOverhead, ecc_overhead);
+    req.blame.add(BlameComponent::BusContention, data_start - data_ready);
+    req.blame.add(BlameComponent::Intrinsic,
+                  t.columnAccess + (transfer - ecc_overhead) +
+                      t.controllerOverhead);
+    req.blameUpTo = req.completion;
+    // Charge everyone queued behind the bank window and the bus-gate
+    // window this launch just created.
+    bank.busyCause = req.scrub ? BlameComponent::ScrubInterference
+                               : BlameComponent::Queueing;
+    bank.busyOwner = req.scrub ? kThreadNone : req.thread;
+    accountBankWindow(req.coord.bank, now);
+    busGateCause_ = BlameComponent::Queueing;
+    busOwner_ = bank.busyOwner;
+    accountBusGate(now, busGateCause_, busOwner_);
+
     // Energy: the commands this access issued, attributed to its rank.
     power_.meterAccess(rank, req.op == MemOp::Write, req.scrub, hit,
                        idle);
@@ -470,6 +599,13 @@ MemoryController::launch(DramRequest req, Cycle now)
         stats_.readLatency.sample(
             static_cast<double>(req.completion - req.arrival));
         stats_.readLatencyHist.sample(req.completion - req.arrival);
+        // Sampled in lockstep with readLatency, whose sample equals
+        // req.blame.sum() here, so Σ blameTotals == readLatency.sum()
+        // reconciles exactly — retried attempts and run-end boundary
+        // requests included.
+        stats_.blameTotals.merge(req.blame);
+        for (std::size_t c = 0; c < kNumBlameComponents; ++c)
+            stats_.blameHist[c].sample(req.blame.cycles[c]);
     } else {
         ++stats_.writes;
     }
@@ -523,6 +659,11 @@ MemoryController::serviceRefresh(Cycle now)
                 const Cycle exit_lat = wakeRank(rank, now);
                 bank.openRow = Bank::kNoRow;  // refresh == precharge
                 bank.readyAt = now + exit_lat + duration;
+                // Blame: the whole window (wake included) stalls any
+                // queued same-bank request as refresh.
+                bank.busyCause = BlameComponent::RefreshStall;
+                bank.busyOwner = kThreadNone;
+                accountBankWindow(bank_index, now);
                 if (tracer_) {
                     tracer_->slice(tracePidChannel(channel_),
                                    traceTidBank(bank_index), "refresh",
@@ -575,6 +716,18 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
                     config_.faults.retryBackoff
                     << std::min<std::uint32_t>(req.retries - 1, 16);
                 req.notBefore = now + backoff;
+                // Blame: like enqueue, account windows standing at
+                // re-queue time (the backoff embargo routes most of
+                // them to fault-retry via the notBefore split).
+                const Bank &rb = banks_[req.coord.bank];
+                if (rb.readyAt > now) {
+                    accountWaitUntil(req, rb.readyAt, rb.busyCause,
+                                     rb.busyOwner);
+                }
+                if (busFreeAt_ > now + maxBusLead_) {
+                    accountWaitUntil(req, busFreeAt_ - maxBusLead_,
+                                     busGateCause_, busOwner_);
+                }
                 if (tracer_) {
                     tracer_->instant(tracePidChannel(channel_),
                                      kTraceTidQueue, "fault-retry", now,
@@ -650,6 +803,14 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
                 break;
             }
         }
+        // Blame: the per-thread CPI stack counts each demand read once,
+        // at final completion (the retry path above `continue`s).
+        if (req.op == MemOp::Read && !req.scrub && !req.mitigation &&
+            req.thread != kThreadNone) {
+            if (stats_.perThreadBlame.size() <= req.thread)
+                stats_.perThreadBlame.resize(req.thread + 1);
+            stats_.perThreadBlame[req.thread].merge(req.blame);
+        }
         if (tracer_) {
             const int pid = tracePidChannel(channel_);
             if (req.corrected) {
@@ -679,8 +840,14 @@ MemoryController::tick(Cycle now, std::vector<DramRequest> &completed)
     // would, pushing every pending data phase out.
     if (injector_.active()) {
         const Cycle stall = injector_.sampleBusStall(now);
-        if (stall > 0)
+        if (stall > 0) {
             busFreeAt_ = std::max(busFreeAt_, now) + stall;
+            // The stolen bus window is the fault's doing, not any
+            // thread's burst.
+            busGateCause_ = BlameComponent::FaultRetry;
+            busOwner_ = kThreadNone;
+            accountBusGate(now, busGateCause_, busOwner_);
+        }
     }
 
     // Retire finished transactions first so their banks show as free.
@@ -802,6 +969,24 @@ MemoryController::dumpState(std::ostream &os) const
        << " enqueueDelays=" << f.enqueueDelays << "\n";
     os << "  retries: readRetries=" << stats_.readRetries
        << " retriesExhausted=" << stats_.retriesExhausted << "\n";
+    os << "  blame:";
+    for (std::size_t c = 0; c < kNumBlameComponents; ++c) {
+        os << " " << blameComponentName(static_cast<BlameComponent>(c))
+           << "=" << stats_.blameTotals.cycles[c];
+    }
+    os << "\n";
+    for (std::size_t t = 0; t < stats_.interference.threads(); ++t) {
+        const ThreadId blocked = static_cast<ThreadId>(t);
+        os << "  interference[t" << t
+           << "]: system=" << stats_.interference.at(blocked, kThreadNone);
+        const std::size_t cols = stats_.interference.columns();
+        for (std::size_t j = 0; j + 1 < cols; ++j) {
+            os << " t" << j << "="
+               << stats_.interference.at(blocked,
+                                         static_cast<ThreadId>(j));
+        }
+        os << " total=" << stats_.interference.rowSum(blocked) << "\n";
+    }
     os << "  refresh: issued=" << stats_.refreshes
        << " blockedCycles=" << stats_.refreshBlockedCycles << "\n";
     if (config_.ecc.enabled) {

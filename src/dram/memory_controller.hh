@@ -84,6 +84,27 @@ struct ControllerStats {
      *  run (locality the schedulers and mappings compete over). */
     LogHistogram rowHitRunHist;
 
+    // --- Latency blame attribution (see blame.hh) ---
+    /**
+     * Per-component cycle totals over demand reads, accumulated at
+     * launch in lockstep with readLatency so
+     * blameTotals.sum() == readLatency.sum() exactly, including
+     * retried attempts and requests still in flight at run end.
+     */
+    LatencyBlame blameTotals;
+    /** Per-component latency distribution over demand reads, sampled
+     *  at launch alongside readLatencyHist. */
+    std::array<LogHistogram, kNumBlameComponents> blameHist;
+    /**
+     * Per-thread breakdown over *completed* demand reads (retire-time,
+     * final attempt only, indexed by ThreadId) — the DRAM-side CPI
+     * stack, and the reference the interference row-sum invariant is
+     * stated against.
+     */
+    std::vector<LatencyBlame> perThreadBlame;
+    /** Who stalled whom, in cycles (demand reads only). */
+    InterferenceMatrix interference;
+
     /** Paper's row-buffer miss rate: misses / all accesses. */
     double
     rowMissRate() const
@@ -311,6 +332,31 @@ class MemoryController
     /** Retire transactions done by @p now, applying read-error faults. */
     void retire(Cycle now, std::vector<DramRequest> &completed);
 
+    // --- Latency-blame attribution (bookkeeping only; see blame.hh).
+    //     All helpers account analytic [blameUpTo, until) intervals at
+    //     event points, so both kernels attribute identically. ---
+    /**
+     * Attribute @p r's lifetime up to @p until to @p cause (the slice
+     * before r.notBefore goes to FaultRetry instead — retry backoff
+     * and injected enqueue delay are never another thread's fault).
+     * Occupancy-type causes on demand reads also feed the
+     * interference matrix against @p owner.  Monotone in blameUpTo:
+     * already-attributed cycles are never touched again.
+     */
+    void accountWaitUntil(DramRequest &r, Cycle until,
+                          BlameComponent cause, ThreadId owner);
+    /** Close the attribution gap up to @p now as scheduler deferral,
+     *  then attribute the blocked window [now, end) to @p cause. */
+    void accountBlocked(DramRequest &r, Cycle now, Cycle end,
+                        BlameComponent cause, ThreadId owner);
+    /** Attribute a freshly booked bank-busy window [now, readyAt) to
+     *  every queued request targeting @p bank_index. */
+    void accountBankWindow(std::uint32_t bank_index, Cycle now);
+    /** Attribute the bus-gate window (bus booked so far ahead that
+     *  tryIssue() refuses to launch) to every queued request. */
+    void accountBusGate(Cycle now, BlameComponent cause,
+                        ThreadId owner);
+
     DramConfig config_;
     std::uint32_t channel_;
     std::unique_ptr<Scheduler> scheduler_;
@@ -322,6 +368,12 @@ class MemoryController
     /** Per-bank consecutive row-hit run in progress. */
     std::vector<std::uint32_t> hitRun_;
     Cycle busFreeAt_ = 0;
+    /** Thread whose burst last booked the bus (kThreadNone for
+     *  writebacks/maintenance/injected stalls) — blame metadata. */
+    ThreadId busOwner_ = kThreadNone;
+    /** What a standing bus-gate window is attributed to: Queueing
+     *  after a burst booking, FaultRetry after an injected stall. */
+    BlameComponent busGateCause_ = BlameComponent::Queueing;
     /** Don't book the bus further ahead than this; keeps scheduling
      *  decisions late so newly arrived hits can still win. */
     Cycle maxBusLead_;

@@ -346,6 +346,96 @@ SmtSystem::registerStats()
         });
     }
 
+    // Latency-blame attribution (stats schema v2): aggregate cycle
+    // totals + per-request distributions per component, the per-thread
+    // DRAM-side CPI stack, and the who-stalled-whom matrix.
+    for (std::size_t c = 0; c < kNumBlameComponents; ++c) {
+        const std::string name =
+            blameComponentName(static_cast<BlameComponent>(c));
+        r.registerScalar("dram.blame." + name + "_cycles", [this, c] {
+            return static_cast<double>(
+                dram_->aggregateStats().blameTotals.cycles[c]);
+        });
+        r.registerHistogram("dram.blame." + name, [this, c] {
+            return dram_->aggregateStats().blameHist[c];
+        });
+    }
+    for (std::uint32_t t = 0; t < config_.core.numThreads; ++t) {
+        const std::string p = "cpu.t" + std::to_string(t) + ".blame.";
+        for (std::size_t c = 0; c < kNumBlameComponents; ++c) {
+            const std::string name =
+                blameComponentName(static_cast<BlameComponent>(c));
+            r.registerScalar(p + name + "_cycles", [this, t, c] {
+                const auto &per =
+                    dram_->aggregateStats().perThreadBlame;
+                return t < per.size()
+                           ? static_cast<double>(per[t].cycles[c])
+                           : 0.0;
+            });
+        }
+    }
+    for (std::uint32_t i = 0; i < config_.core.numThreads; ++i) {
+        const std::string p =
+            "dram.interference.t" + std::to_string(i) + ".";
+        const auto blocked = static_cast<ThreadId>(i);
+        r.registerScalar(p + "system", [this, blocked] {
+            return static_cast<double>(
+                dram_->aggregateStats().interference.at(blocked,
+                                                        kThreadNone));
+        });
+        for (std::uint32_t j = 0; j < config_.core.numThreads; ++j) {
+            const auto blocker = static_cast<ThreadId>(j);
+            r.registerScalar(
+                p + "t" + std::to_string(j), [this, blocked, blocker] {
+                    return static_cast<double>(
+                        dram_->aggregateStats().interference.at(
+                            blocked, blocker));
+                });
+        }
+        r.registerScalar(p + "total", [this, blocked] {
+            return static_cast<double>(
+                dram_->aggregateStats().interference.rowSum(blocked));
+        });
+    }
+
+    // Bounded-buffer trace drops: a truncated trace must be visible
+    // in the stats JSON, not only in the file's own gaps.
+    r.registerScalar("trace.dropped_events", [this] {
+        return tracer_ ? static_cast<double>(tracer_->droppedEvents())
+                       : 0.0;
+    });
+
+    // Per-channel power-state residency and mitigation activity.
+    // Registered as scalars so sampleEpoch() turns them into epoch
+    // time series alongside the aggregate residency counters above.
+    for (std::uint32_t c = 0; c < dram_->channels(); ++c) {
+        const std::string p = "dram.ch" + std::to_string(c) +
+                              ".power.";
+        r.registerScalar(p + "active_cycles", [this, c] {
+            return static_cast<double>(
+                dram_->channelPowerStats(c).activeCycles);
+        });
+        r.registerScalar(p + "powerdown_fast_cycles", [this, c] {
+            return static_cast<double>(
+                dram_->channelPowerStats(c).powerdownFastCycles);
+        });
+        r.registerScalar(p + "powerdown_slow_cycles", [this, c] {
+            return static_cast<double>(
+                dram_->channelPowerStats(c).powerdownSlowCycles);
+        });
+        r.registerScalar(p + "self_refresh_cycles", [this, c] {
+            return static_cast<double>(
+                dram_->channelPowerStats(c).selfRefreshCycles);
+        });
+        r.registerScalar("dram.ch" + std::to_string(c) +
+                             ".hammer.mitigation_cycles",
+                         [this, c] {
+                             return static_cast<double>(
+                                 dram_->channelHammerStats(c)
+                                     .mitigationCycles);
+                         });
+    }
+
     // Distribution views.
     r.registerHistogram("dram.read_latency", [this] {
         return dram_->aggregateStats().readLatencyHist;
@@ -393,6 +483,42 @@ SmtSystem::sampleEpoch()
             rob_total += core_->robOccupancy(static_cast<ThreadId>(t));
         tracer_->counter(kTracePidCpu, "rob_occupancy", now_,
                          rob_total);
+        // Blame, residency, and mitigation dynamics per channel.
+        // Cumulative counters: Perfetto differentiates visually, and
+        // the monotone series diff cleanly across kernels.
+        static const char *const kBlameCounter[kNumBlameComponents] = {
+            "blame_queueing",      "blame_sched_deferral",
+            "blame_bank_conflict", "blame_bus_contention",
+            "blame_refresh_stall", "blame_scrub",
+            "blame_fault_retry",   "blame_ecc_overhead",
+            "blame_power_exit",    "blame_hammer_mitigation",
+            "blame_intrinsic"};
+        for (std::uint32_t c = 0; c < dram_->channels(); ++c) {
+            const int pid = tracePidChannel(c);
+            const ControllerStats &s = dram_->channelStats(c);
+            for (std::size_t k = 0; k < kNumBlameComponents; ++k) {
+                tracer_->counter(
+                    pid, kBlameCounter[k], now_,
+                    static_cast<double>(s.blameTotals.cycles[k]));
+            }
+            if (config_.dram.power.enabled) {
+                const PowerStats &p = dram_->channelPowerStats(c);
+                tracer_->counter(
+                    pid, "power_active_cycles", now_,
+                    static_cast<double>(p.activeCycles));
+                tracer_->counter(
+                    pid, "power_lowpower_cycles", now_,
+                    static_cast<double>(p.powerdownFastCycles +
+                                        p.powerdownSlowCycles +
+                                        p.selfRefreshCycles));
+            }
+            if (config_.dram.hammer.mitigates()) {
+                tracer_->counter(
+                    pid, "hammer_mitigation_cycles", now_,
+                    static_cast<double>(
+                        dram_->channelHammerStats(c).mitigationCycles));
+            }
+        }
     }
 }
 

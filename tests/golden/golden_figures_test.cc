@@ -343,5 +343,51 @@ TEST(GoldenFigures, Fig11Energy)
     checkGolden("fig11_energy", text);
 }
 
+TEST(GoldenFigures, Fig13Blame)
+{
+    // Mirrors bench/fig13_blame.cpp: demand-read latency decomposed
+    // into the eleven conservation-checked blame components, for all
+    // seven schedulers across 1/2/4-thread memory-bound mixes, plus
+    // the inter-thread interference row sums.  The reconcile metric
+    // pins sum(blame) == readLatency.sum() exactly (always 0).
+    static const WorkloadMix kOneMem{"1-MEM", {"mcf"}};
+    const WorkloadMix *mixes[] = {&kOneMem, &mixByName("2-MEM"),
+                                  &mixByName("4-MEM")};
+    std::string text;
+    for (const WorkloadMix *mix : mixes) {
+        const auto threads =
+            static_cast<std::uint32_t>(mix->apps.size());
+        for (SchedulerKind scheduler : allSchedulerKindsExtended()) {
+            SystemConfig config = SystemConfig::paperDefault(threads);
+            config.scheduler = scheduler;
+            const std::string label =
+                mix->name + "." + schedulerName(scheduler);
+            const MixRun r = ctx().runMix(config, *mix);
+            const ControllerStats &dram = r.run.dram;
+            const double lat_sum = dram.readLatency.sum();
+            for (std::size_t c = 0; c < kNumBlameComponents; ++c) {
+                const auto comp = static_cast<BlameComponent>(c);
+                appendMetric(
+                    text,
+                    label + ".share." + blameComponentName(comp),
+                    lat_sum > 0.0
+                        ? 100.0 * dram.blameTotals[comp] / lat_sum
+                        : 0.0);
+            }
+            appendMetric(text, label + ".reconcile",
+                         static_cast<double>(dram.blameTotals.sum()) -
+                             lat_sum);
+            for (std::uint32_t t = 0; t < threads; ++t) {
+                appendMetric(
+                    text,
+                    label + ".interference.t" + std::to_string(t),
+                    static_cast<double>(dram.interference.rowSum(
+                        static_cast<ThreadId>(t))));
+            }
+        }
+    }
+    checkGolden("fig13_blame", text);
+}
+
 } // namespace
 } // namespace smtdram

@@ -180,13 +180,24 @@ TEST(Observability, ExportsSchemaVersionedStatsAndEpochCsv)
     ASSERT_FALSE(doc.empty());
     EXPECT_NE(doc.find("\"schema\":\"smtdram-stats\""),
               std::string::npos);
-    EXPECT_NE(doc.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(doc.find("\"version\":2"), std::string::npos);
     EXPECT_NE(doc.find(
                   "\"config\":\"2C-1G-xor-open-Hit-first-l3real-pf0\""),
               std::string::npos);
     EXPECT_NE(doc.find("\"dram.reads\":"), std::string::npos);
     EXPECT_NE(doc.find("\"dram.read_latency\":"), std::string::npos);
     EXPECT_NE(doc.find("\"cpu.t1.committed\":"), std::string::npos);
+    // v2 additions: blame attribution, interference matrix, per-thread
+    // CPI stack, trace-drop visibility.
+    EXPECT_NE(doc.find("\"dram.blame.queueing_cycles\":"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"dram.blame.intrinsic\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"cpu.t0.blame.intrinsic_cycles\":"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"dram.interference.t0.t1\":"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"trace.dropped_events\":"),
+              std::string::npos);
 
     // Registry and RunResult agree on the headline counter.
     ASSERT_NE(system.statsRegistry(), nullptr);
