@@ -481,6 +481,69 @@ BM_MemoryIdlePhase(benchmark::State &state)
 }
 BENCHMARK(BM_MemoryIdlePhase)->Arg(0)->Arg(1)->Iterations(8);
 
+/**
+ * Scheduler-scan cost: one controller tick against a read queue held
+ * at the given depth.  Each tick launches at most one transaction (so
+ * the queue stays near the target depth) and the candidate gather
+ * walks every queued entry, making this a direct microbenchmark of
+ * the queue-scan data layout (QueuedRef field caching, the bank
+ * readiness bitset, the pooled request slab) that BM_SimThroughput
+ * only exercises diluted through the whole simulator.
+ */
+void
+BM_SchedScan(benchmark::State &state)
+{
+    const auto depth = static_cast<std::uint32_t>(state.range(0));
+    DramConfig config = DramConfig::ddrSdram(1);
+    config.readQueueCap = std::max(config.readQueueCap, depth + 1);
+    AddressMapping mapping(config);
+    MemoryController mc(config, SchedulerKind::HitFirst);
+    Rng rng(17);
+    std::vector<DramRequest> completed;
+    Cycle now = 0;
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        ++now;
+        while (mc.queuedReads() < depth && mc.canAcceptRead()) {
+            DramRequest req;
+            req.id = id++;
+            req.op = MemOp::Read;
+            req.addr = rng.below(1ULL << 28) & ~63ULL;
+            req.thread = static_cast<ThreadId>(rng.below(4));
+            req.arrival = now;
+            req.coord = mapping.map(req.addr);
+            mc.enqueue(req);
+        }
+        completed.clear();
+        mc.tick(now, completed);
+        benchmark::DoNotOptimize(completed.size());
+    }
+    state.counters["reads"] = static_cast<double>(mc.stats().reads);
+}
+BENCHMARK(BM_SchedScan)->Arg(8)->Arg(32)->Arg(64);
+
+/**
+ * Machine-speed anchor: a fixed pure-integer mixing loop touching no
+ * simulator code and no memory.  The perf-regression gate divides
+ * every other bench's time by this row's time before comparing
+ * against the committed baseline, so a uniformly faster or slower
+ * machine does not read as an improvement or a regression.
+ */
+void
+BM_Calibration(benchmark::State &state)
+{
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (auto _ : state) {
+        for (int i = 0; i < 512; ++i) {
+            x ^= x >> 33;
+            x *= 0xff51afd7ed558ccdULL;
+            x ^= x >> 29;
+        }
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_Calibration);
+
 void
 BM_CacheArrayAccess(benchmark::State &state)
 {

@@ -6,7 +6,8 @@ namespace smtdram
 {
 
 PageTables::PageTables(std::uint32_t page_bytes, std::uint32_t num_threads)
-    : pageShift_(floorLog2(page_bytes)), tables_(num_threads)
+    : pageShift_(floorLog2(page_bytes)), tables_(num_threads),
+      last_(num_threads)
 {
     fatal_if(!isPowerOfTwo(page_bytes), "page size must be a power of 2");
 }
@@ -17,6 +18,9 @@ PageTables::translate(ThreadId tid, Addr vaddr)
     panic_if(tid >= tables_.size(), "thread %u out of range", tid);
     const Addr vpage = vaddr >> pageShift_;
     const Addr offset = vaddr & ((Addr{1} << pageShift_) - 1);
+    LastXlate &last = last_[tid];
+    if (last.vpage == vpage)
+        return (last.frame << pageShift_) | offset;
     auto &pt = tables_[tid];
     auto it = pt.find(vpage);
     Addr frame;
@@ -26,6 +30,8 @@ PageTables::translate(ThreadId tid, Addr vaddr)
     } else {
         frame = it->second;
     }
+    last.vpage = vpage;
+    last.frame = frame;
     return (frame << pageShift_) | offset;
 }
 
@@ -39,6 +45,13 @@ Cycle
 Tlb::lookup(ThreadId tid, Addr vpage)
 {
     const std::uint64_t k = key(tid, vpage);
+    // MRU short-circuit: a repeat of the most recent lookup is
+    // already at the LRU front, so the splice would be a no-op and
+    // the hash probe pure overhead.  State evolution is identical.
+    if (!lru_.empty() && lru_.front() == k) {
+        stats_.hit();
+        return 0;
+    }
     auto it = index_.find(k);
     if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);

@@ -39,8 +39,18 @@ class PageTables
     std::uint32_t pageShift() const { return pageShift_; }
 
   private:
+    /** Last translation per thread.  Mappings are allocate-on-first-
+     *  touch and never change or disappear, so this one-entry cache
+     *  needs no invalidation — it only short-circuits the hash
+     *  lookup for the overwhelmingly common same-page repeat. */
+    struct LastXlate {
+        Addr vpage = kAddrInvalid;
+        Addr frame = 0;
+    };
+
     std::uint32_t pageShift_;
     std::vector<std::unordered_map<Addr, Addr>> tables_;
+    std::vector<LastXlate> last_;
     std::uint64_t nextFrame_ = 0;
 };
 

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring over a flat vector.
+ *
+ * Drop-in for the deque-shaped queues on the simulator's per-cycle
+ * paths (core fetch queues, the retired-store write buffer): every
+ * queue in the pipeline has a hard architectural capacity, so the
+ * storage can be sized once at construction and never touch the heap
+ * again — std::deque's block churn was the last steady-state
+ * allocation in the core loop.
+ */
+
+#ifndef SMTDRAM_COMMON_BOUNDED_FIFO_HH
+#define SMTDRAM_COMMON_BOUNDED_FIFO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace smtdram
+{
+
+template <typename T>
+class BoundedFifo
+{
+  public:
+    /** Size the ring for @p capacity elements; clears the queue. */
+    void
+    init(std::uint32_t capacity)
+    {
+        fatal_if(capacity == 0, "BoundedFifo needs capacity >= 1");
+        buf_.assign(capacity, T{});
+        head_ = 0;
+        count_ = 0;
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::uint32_t size() const { return count_; }
+    std::uint32_t capacity() const
+    {
+        return static_cast<std::uint32_t>(buf_.size());
+    }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    void
+    push_back(const T &v)
+    {
+        panic_if(count_ == buf_.size(), "BoundedFifo overflow");
+        std::uint32_t slot = head_ + count_;
+        if (slot >= buf_.size())
+            slot -= static_cast<std::uint32_t>(buf_.size());
+        buf_[slot] = v;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        panic_if(count_ == 0, "BoundedFifo underflow");
+        if (++head_ == buf_.size())
+            head_ = 0;
+        --count_;
+    }
+
+  private:
+    std::vector<T> buf_;
+    std::uint32_t head_ = 0;
+    std::uint32_t count_ = 0;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_COMMON_BOUNDED_FIFO_HH

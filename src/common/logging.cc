@@ -26,11 +26,21 @@ std::function<void()> g_panicHook;
 PanicHookHandle g_panicHookHandle = 0;
 std::uint64_t g_nextPanicHookHandle = 1;
 
+// Sink emission is serialized: warn_once() call sites dedupe with a
+// per-site atomic, but two *different* warnings on two runner threads
+// (--jobs N) would otherwise call into the shared sink concurrently —
+// a data race unless every sink locks internally.  Centralizing the
+// lock here keeps the sink contract single-threaded.  The no-sink
+// fprintf path is serialized too so interleaved runs don't shred
+// lines (ParallelLogging tests run this under TSan).
+std::mutex g_sinkEmitMu;
+
 void
 emitWarn(const std::string &msg)
 {
     if (logVerbosity() < LogVerbosity::WarnOnly)
         return;
+    std::lock_guard<std::mutex> lock(g_sinkEmitMu);
     if (LogSink *sink = g_sink.load(std::memory_order_relaxed))
         sink->warnMessage(msg);
     else
@@ -162,6 +172,7 @@ informImpl(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
+    std::lock_guard<std::mutex> lock(g_sinkEmitMu);
     if (LogSink *sink = g_sink.load(std::memory_order_relaxed))
         sink->informMessage(msg);
     else

@@ -55,37 +55,15 @@ fetchPolicyFromName(const std::string &name)
     fatal("unknown fetch policy '%s'", name.c_str());
 }
 
-namespace
-{
-
-/** Sort key: (group, icount, rotated tid) — smaller fetches first. */
-struct RankEntry {
-    int group;
-    std::uint32_t icount;
-    std::uint32_t rotatedTid;
-    ThreadId tid;
-
-    bool
-    operator<(const RankEntry &o) const
-    {
-        if (group != o.group)
-            return group < o.group;
-        if (icount != o.icount)
-            return icount < o.icount;
-        return rotatedTid < o.rotatedTid;
-    }
-};
-
-} // namespace
-
-std::vector<ThreadId>
+void
 rankFetchThreads(FetchPolicyKind kind,
                  const std::vector<FetchThreadState> &threads,
-                 std::uint64_t rotation)
+                 std::uint64_t rotation, std::vector<ThreadId> &order)
 {
     const std::uint32_t n = static_cast<std::uint32_t>(threads.size());
-    std::vector<RankEntry> entries;
-    entries.reserve(n);
+    order.clear();
+    if (n == 0)
+        return;
 
     // Fetch-stall keeps at least one thread eligible: when every
     // fetchable thread has a long-latency miss, the gate is ignored.
@@ -95,11 +73,14 @@ rankFetchThreads(FetchPolicyKind kind,
             all_have_l2_miss = false;
     }
 
-    for (const auto &t : threads) {
+    // Collect positions of eligible entries, then sort by key.  The
+    // keys are recomputed inside the comparator instead of staged in
+    // a temporary entry array: this runs every cycle, and the caller's
+    // reused `order` vector is the only storage it may touch.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const FetchThreadState &t = threads[i];
         if (!t.fetchable)
             continue;
-
-        int group = 0;
         switch (kind) {
           case FetchPolicyKind::RoundRobin:
             break;
@@ -114,26 +95,44 @@ rankFetchThreads(FetchPolicyKind kind,
                 continue;  // gated out, even if nobody else can fetch
             break;
           case FetchPolicyKind::DWarn:
-            group = t.pendingDataMisses > 0 ? 1 : 0;
             break;
         }
-
-        RankEntry e;
-        e.group = group;
-        e.icount =
-            kind == FetchPolicyKind::RoundRobin ? 0 : t.frontEndCount;
-        e.rotatedTid =
-            static_cast<std::uint32_t>((t.tid + n - (rotation % n)) % n);
-        e.tid = t.tid;
-        entries.push_back(e);
+        order.push_back(i);
     }
 
-    std::sort(entries.begin(), entries.end());
+    // Sort key: (group, icount, rotated tid) — smaller fetches first.
+    // The rotated tid is unique per thread, so the key is a total
+    // order and sort instability cannot show.
+    const std::uint32_t rot = rotation % n;
+    const auto key_less = [&](ThreadId a, ThreadId b) {
+        const FetchThreadState &ta = threads[a];
+        const FetchThreadState &tb = threads[b];
+        if (kind == FetchPolicyKind::DWarn) {
+            const int ga = ta.pendingDataMisses > 0 ? 1 : 0;
+            const int gb = tb.pendingDataMisses > 0 ? 1 : 0;
+            if (ga != gb)
+                return ga < gb;
+        }
+        if (kind != FetchPolicyKind::RoundRobin &&
+            ta.frontEndCount != tb.frontEndCount) {
+            return ta.frontEndCount < tb.frontEndCount;
+        }
+        return (ta.tid + n - rot) % n < (tb.tid + n - rot) % n;
+    };
+    if (order.size() > 1)
+        std::sort(order.begin(), order.end(), key_less);
 
+    for (ThreadId &slot : order)
+        slot = threads[slot].tid;
+}
+
+std::vector<ThreadId>
+rankFetchThreads(FetchPolicyKind kind,
+                 const std::vector<FetchThreadState> &threads,
+                 std::uint64_t rotation)
+{
     std::vector<ThreadId> order;
-    order.reserve(entries.size());
-    for (const auto &e : entries)
-        order.push_back(e.tid);
+    rankFetchThreads(kind, threads, rotation, order);
     return order;
 }
 

@@ -68,6 +68,17 @@ std::vector<ThreadId> rankFetchThreads(
     FetchPolicyKind kind, const std::vector<FetchThreadState> &threads,
     std::uint64_t rotation);
 
+/**
+ * Allocation-free overload for the per-cycle fetch stage: the order
+ * is written into @p order (cleared first), whose capacity persists
+ * across calls in the caller's scratch.  Identical ranking to the
+ * returning overload, which wraps this one.
+ */
+void rankFetchThreads(FetchPolicyKind kind,
+                      const std::vector<FetchThreadState> &threads,
+                      std::uint64_t rotation,
+                      std::vector<ThreadId> &order);
+
 } // namespace smtdram
 
 #endif // SMTDRAM_CPU_FETCH_POLICY_HH

@@ -35,17 +35,20 @@ SmtCore::SmtCore(const CoreConfig &config, Hierarchy &hierarchy)
       intIqOcc_(config.numThreads, 0),
       fpIqOcc_(config.numThreads, 0),
       robOcc_(config.numThreads, 0),
-      robHighWater_(config.numThreads, 0),
-      intIqHighWater_(config.numThreads, 0),
-      fetchStallSince_(config.numThreads, kCycleNever),
       freeIntRegs_(config.intRegs -
                    config.archRegsPerThread * config.numThreads),
       freeFpRegs_(config.fpRegs -
-                  config.archRegsPerThread * config.numThreads)
+                  config.archRegsPerThread * config.numThreads),
+      robHighWater_(config.numThreads, 0),
+      intIqHighWater_(config.numThreads, 0),
+      fetchStallSince_(config.numThreads, kCycleNever)
 {
     config_.validate();
-    for (auto &t : threads_)
+    for (auto &t : threads_) {
         t.rob.resize(config_.robPerThread);
+        t.fetchQueue.init(config_.fetchQueueCap);
+    }
+    writeBuffer_.init(config_.writeBufferCap);
     intIq_.reserve(config_.intIqSize);
     fpIq_.reserve(config_.fpIqSize);
 
@@ -111,23 +114,25 @@ SmtCore::robSlot(ThreadId tid, InstSeq seq) const
     return threads_[tid].rob[seq & (config_.robPerThread - 1)];
 }
 
-bool
-SmtCore::producerReady(ThreadId tid, InstSeq seq,
-                       std::uint8_t dist) const
+const SmtCore::DynInst *
+SmtCore::resolveProducer(ThreadId tid, InstSeq seq, std::uint8_t dist,
+                         InstSeq &pseq_out) const
 {
+    pseq_out = 0;
     if (dist == 0)
-        return true;
+        return nullptr;
     if (static_cast<InstSeq>(dist) > seq)
-        return true;  // producer precedes the measured stream
+        return nullptr;  // producer precedes the measured stream
     const InstSeq pseq = seq - dist;
     if (pseq < threads_[tid].robHead)
-        return true;  // producer already committed
+        return nullptr;  // producer already committed
     const DynInst &p = robSlot(tid, pseq);
     panic_if(p.seq != pseq, "ROB ring corrupted (seq %llu vs %llu)",
              (unsigned long long)p.seq, (unsigned long long)pseq);
     if (!producesValue(p.op.cls))
-        return true;
-    return p.state == DynInst::State::Completed;
+        return nullptr;
+    pseq_out = pseq;
+    return &p;
 }
 
 // --------------------------------------------------------------------
@@ -197,6 +202,8 @@ SmtCore::markCompleted(ThreadId tid, InstSeq seq, Cycle now)
         return;
     }
     slot.state = DynInst::State::Completed;
+    issueScanNeeded_ = true;   // dependents may be ready now
+    depRecheckNeeded_ = true;  // existing ready bits may be stale
 
     if (slot.mispredicted && t.awaitingBranch &&
         t.awaitedBranchSeq == seq) {
@@ -223,27 +230,71 @@ SmtCore::completeStage(Cycle now)
 void
 SmtCore::issueStage(Cycle now)
 {
+    // Readiness is monotone: a waiting instruction's producers only
+    // ever move toward Completed (markCompleted is the sole Waiting/
+    // Issued -> Completed transition, and commit requires Completed
+    // first, so advancing robHead never newly enables a consumer).
+    // A full scan that found nothing dep-ready therefore stays
+    // fruitless until a completion lands or dispatch inserts a new
+    // entry — both set issueScanNeeded_.  Skipping those cycles is
+    // stat-identical: a fruitless scan issues nothing and touches no
+    // counters.
+    if (!issueScanNeeded_ || (intIq_.empty() && fpIq_.empty()))
+        return;
+
     std::uint32_t alu = config_.intAluUnits;
     std::uint32_t mult = config_.intMultUnits;
     std::uint32_t ports = config_.cachePorts;
     std::uint32_t int_budget = config_.intIssueWidth;
     std::uint32_t issued_int = 0;
 
+    // True when some dep-ready entry was left unissued (width, unit,
+    // or port pressure, or a blocked cache probe): resources reset
+    // next cycle, so the scan must re-run even with no new event.
+    bool leftover_ready = false;
+
+    // Ready bits are exact except after a completion: dispatch
+    // computes them on insert, and only markCompleted can flip a
+    // producer under an existing entry.  On recheck-free cycles a
+    // non-ready entry is skipped without touching its producers.
+    const bool recheck = depRecheckNeeded_;
+    // A budget early-out leaves tail entries un-rechecked (their bits
+    // may still be stale), so the flag only clears on a full pass
+    // over both queues.
+    bool full_scan = true;
+
     auto issue_from = [&](std::vector<IqRef> &iq, bool is_fp,
                           std::uint32_t &budget,
                           std::uint32_t &fu_a, std::uint32_t &fu_b) {
         size_t keep = 0;
         for (size_t i = 0; i < iq.size(); ++i) {
+            // Once the width or both functional units are exhausted
+            // nothing further can issue, so the tail survives as-is:
+            // compact it in one pass instead of re-testing per entry.
+            if (budget == 0 || (fu_a == 0 && fu_b == 0)) {
+                leftover_ready = true;  // unknown tail: rescan
+                full_scan = false;
+                if (keep == i) {
+                    keep = iq.size();
+                } else {
+                    for (; i < iq.size(); ++i)
+                        iq[keep++] = iq[i];
+                }
+                break;
+            }
             IqRef ref = iq[i];
             bool issued = false;
             if (budget > 0) {
-                DynInst &slot = robSlot(ref.tid, ref.seq);
+                DynInst &slot = *ref.slot;
                 panic_if(slot.seq != ref.seq, "IQ ring mismatch");
                 panic_if(slot.state != DynInst::State::Waiting,
                          "non-waiting inst in IQ");
-                const bool deps_ok =
-                    producerReady(ref.tid, ref.seq, slot.op.dep1) &&
-                    producerReady(ref.tid, ref.seq, slot.op.dep2);
+                bool deps_ok = ref.ready;
+                if (!deps_ok && recheck) {
+                    deps_ok = producerDone(ref.p1, ref.p1seq) &&
+                              producerDone(ref.p2, ref.p2seq);
+                    ref.ready = deps_ok;
+                }
                 if (deps_ok) {
                     const OpClass cls = slot.op.cls;
                     std::uint32_t *fu = nullptr;
@@ -264,6 +315,7 @@ SmtCore::issueStage(Cycle now)
                             if (r.status ==
                                 AccessResult::Status::Blocked) {
                                 // Structural hazard: replay later.
+                                leftover_ready = true;
                                 iq[keep++] = ref;
                                 continue;
                             }
@@ -297,11 +349,20 @@ SmtCore::issueStage(Cycle now)
                             ++issued_int;
                         }
                         issued = true;
+                    } else {
+                        leftover_ready = true;  // ready, no unit/port
                     }
                 }
             }
-            if (!issued)
-                iq[keep++] = ref;
+            if (!issued) {
+                // ready is the only field the scan mutates; skip the
+                // full struct store when nothing moved.
+                if (keep != i)
+                    iq[keep] = ref;
+                else
+                    iq[i].ready = ref.ready;
+                ++keep;
+            }
         }
         iq.resize(keep);
     };
@@ -315,6 +376,10 @@ SmtCore::issueStage(Cycle now)
 
     if (issued_int > 0)
         ++intIssueActiveCycles_;
+
+    issueScanNeeded_ = leftover_ready;
+    if (recheck && full_scan)
+        depRecheckNeeded_ = false;
 }
 
 // --------------------------------------------------------------------
@@ -328,8 +393,23 @@ SmtCore::dispatchStage(Cycle now)
     const std::uint32_t n = config_.numThreads;
     const std::uint64_t start = dispatchRotation_++;
 
+    // Nothing decoded and ready anywhere: skip the scratch setup and
+    // the round-robin scan (the rotation above already advanced).
+    bool any_ready = false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const ThreadState &t = threads_[i];
+        if (!t.fetchQueue.empty() &&
+            t.fetchQueue.front().readyAt <= now) {
+            any_ready = true;
+            break;
+        }
+    }
+    if (!any_ready)
+        return;
+
     bool progress = true;
-    std::vector<bool> stalled(n, false);
+    std::vector<std::uint8_t> &stalled = dispatchStalled_;
+    stalled.assign(n, 0);
     while (budget > 0 && progress) {
         progress = false;
         for (std::uint32_t i = 0; i < n && budget > 0; ++i) {
@@ -339,7 +419,7 @@ SmtCore::dispatchStage(Cycle now)
             ThreadState &t = threads_[tid];
             if (t.fetchQueue.empty() ||
                 t.fetchQueue.front().readyAt > now) {
-                stalled[tid] = true;
+                stalled[tid] = 1;
                 continue;
             }
             const FetchedInst &f = t.fetchQueue.front();
@@ -354,7 +434,7 @@ SmtCore::dispatchStage(Cycle now)
                 (f.op.cls == OpClass::Load && lqUsed_ >= config_.lqSize) ||
                 (f.op.cls == OpClass::Store &&
                  sqUsed_ >= config_.sqSize)) {
-                stalled[tid] = true;
+                stalled[tid] = 1;
                 continue;
             }
 
@@ -378,15 +458,26 @@ SmtCore::dispatchStage(Cycle now)
             if (f.op.cls == OpClass::Store)
                 ++sqUsed_;
 
+            IqRef ref;
+            ref.tid = tid;
+            ref.seq = f.seq;
+            ref.slot = &slot;
+            ref.p1 = resolveProducer(tid, f.seq, f.op.dep1, ref.p1seq);
+            ref.p2 = resolveProducer(tid, f.seq, f.op.dep2, ref.p2seq);
+            // Exact at insert: the bit only goes stale when a later
+            // completion lands, which flags depRecheckNeeded_.
+            ref.ready = producerDone(ref.p1, ref.p1seq) &&
+                        producerDone(ref.p2, ref.p2seq);
             if (is_fp) {
-                fpIq_.push_back(IqRef{tid, f.seq});
+                fpIq_.push_back(ref);
                 ++fpIqOcc_[tid];
             } else {
-                intIq_.push_back(IqRef{tid, f.seq});
+                intIq_.push_back(ref);
                 ++intIqOcc_[tid];
                 intIqHighWater_[tid] =
                     std::max(intIqHighWater_[tid], intIqOcc_[tid]);
             }
+            issueScanNeeded_ = true;  // new entry for the next scan
             ++robOcc_[tid];
             robHighWater_[tid] =
                 std::max(robHighWater_[tid], robOcc_[tid]);
@@ -478,7 +569,8 @@ void
 SmtCore::fetchStage(Cycle now)
 {
     const std::uint32_t n = config_.numThreads;
-    std::vector<FetchThreadState> states(n);
+    std::vector<FetchThreadState> &states = fetchStates_;
+    states.assign(n, FetchThreadState{});
     for (ThreadId tid = 0; tid < n; ++tid) {
         const ThreadState &t = threads_[tid];
         FetchThreadState &s = states[tid];
@@ -515,8 +607,9 @@ SmtCore::fetchStage(Cycle now)
         }
     }
 
-    const std::vector<ThreadId> order =
-        rankFetchThreads(config_.fetchPolicy, states, fetchRotation_++);
+    std::vector<ThreadId> &order = fetchOrder_;
+    rankFetchThreads(config_.fetchPolicy, states, fetchRotation_++,
+                     order);
 
     std::uint32_t budget = config_.fetchWidth;
     std::uint32_t threads_used = 0;
@@ -636,15 +729,13 @@ SmtCore::nextEventAt(Cycle now) const
     // Issue: any queue entry with both producers ready would issue
     // (or, for a load, replay a blocked cache probe) next cycle.
     for (const IqRef &ref : intIq_) {
-        const DynInst &slot = robSlot(ref.tid, ref.seq);
-        if (producerReady(ref.tid, ref.seq, slot.op.dep1) &&
-            producerReady(ref.tid, ref.seq, slot.op.dep2))
+        if (ref.ready || (producerDone(ref.p1, ref.p1seq) &&
+                          producerDone(ref.p2, ref.p2seq)))
             return now + 1;
     }
     for (const IqRef &ref : fpIq_) {
-        const DynInst &slot = robSlot(ref.tid, ref.seq);
-        if (producerReady(ref.tid, ref.seq, slot.op.dep1) &&
-            producerReady(ref.tid, ref.seq, slot.op.dep2))
+        if (ref.ready || (producerDone(ref.p1, ref.p1seq) &&
+                          producerDone(ref.p2, ref.p2seq)))
             return now + 1;
     }
     return next;

@@ -24,12 +24,12 @@
 #define SMTDRAM_CPU_SMT_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/bounded_fifo.hh"
 #include "common/stats.hh"
 #include "common/trace_event.hh"
 #include "common/types.hh"
@@ -176,7 +176,7 @@ class SmtCore
     /** Per-thread architectural state. */
     struct ThreadState {
         InstStream *stream = nullptr;
-        std::deque<FetchedInst> fetchQueue;
+        BoundedFifo<FetchedInst> fetchQueue;
         InstSeq nextSeq = 0;      ///< next fetch sequence number
         InstSeq robHead = 0;      ///< oldest in-flight seq
         InstSeq robTail = 0;      ///< next seq to dispatch
@@ -210,10 +210,6 @@ class SmtCore
     DynInst &robSlot(ThreadId tid, InstSeq seq);
     const DynInst &robSlot(ThreadId tid, InstSeq seq) const;
 
-    /** True once the producer at distance @p dist has its value. */
-    bool producerReady(ThreadId tid, InstSeq seq,
-                       std::uint8_t dist) const;
-
     void markCompleted(ThreadId tid, InstSeq seq, Cycle now);
 
     void onMissComplete(std::uint64_t miss_id, Cycle when);
@@ -228,11 +224,42 @@ class SmtCore
     /** Sum of perf_[*].committedInsts, updated at commit. */
     std::uint64_t totalCommitted_ = 0;
 
-    /** Issue queues: (tid, seq) refs in age order. */
+    /** Issue queues: (tid, seq) refs in age order, with the ROB slot
+     *  and any still-in-flight producers resolved once at dispatch.
+     *  ROB rings never reallocate, so the pointers stay valid for the
+     *  entry's whole IQ residency.  A null producer is one that was
+     *  already safe at dispatch (no dependence, pre-stream, committed,
+     *  or non-value-producing); a non-null one is checked with
+     *  producerDone().  `ready` is sticky: readiness is monotone, so
+     *  once both producers are seen done the checks never rerun. */
     struct IqRef {
         ThreadId tid;
         InstSeq seq;
+        DynInst *slot;
+        const DynInst *p1;
+        const DynInst *p2;
+        InstSeq p1seq;
+        InstSeq p2seq;
+        bool ready;
     };
+
+    /** True once the producer occupying @p p at dispatch has its
+     *  value: completed in place, committed (Empty, same seq), or
+     *  committed and its ring slot reused (seq moved on). */
+    static bool
+    producerDone(const DynInst *p, InstSeq pseq)
+    {
+        return p == nullptr || p->seq != pseq ||
+               p->state == DynInst::State::Completed ||
+               p->state == DynInst::State::Empty;
+    }
+
+    /** Resolve the producer @p dist back from @p seq to its ROB slot,
+     *  or null when it can never gate issue; @p pseq_out gets its
+     *  seq for the reuse check. */
+    const DynInst *resolveProducer(ThreadId tid, InstSeq seq,
+                                   std::uint8_t dist,
+                                   InstSeq &pseq_out) const;
     std::vector<IqRef> intIq_;
     std::vector<IqRef> fpIq_;
     std::vector<std::uint32_t> intIqOcc_;
@@ -273,7 +300,17 @@ class SmtCore
         ThreadId tid;
         Addr vaddr;
     };
-    std::deque<PendingStore> writeBuffer_;
+    BoundedFifo<PendingStore> writeBuffer_;
+
+    /** False while a rescan of the issue queues cannot possibly find
+     *  work: the last full scan left no dep-ready entry behind, and
+     *  no completion or dispatch has happened since (readiness is
+     *  monotone, so nothing else can enable a waiting entry). */
+    bool issueScanNeeded_ = true;
+
+    /** True while some IqRef.ready bit may be stale-false: set by
+     *  markCompleted, cleared by the next full dep-recheck pass. */
+    bool depRecheckNeeded_ = true;
 
     std::uint64_t fetchRotation_ = 0;
     std::uint64_t commitRotation_ = 0;
@@ -288,6 +325,18 @@ class SmtCore
     /** Cycle each thread's current fetch-stall span opened, or
      *  kCycleNever when the thread is fetchable (trace-only state). */
     std::vector<Cycle> fetchStallSince_;
+
+    // --- Per-cycle stage scratch.  Members (not locals) so the
+    //     fetch/dispatch loops never allocate at steady state; each
+    //     stage fully rewrites its buffer before reading it.  Member
+    //     (not function-static) because the parallel runner ticks one
+    //     SmtCore per worker thread. ---
+    /** dispatchStage: threads that already stalled this cycle. */
+    std::vector<std::uint8_t> dispatchStalled_;
+    /** fetchStage: per-thread policy inputs rebuilt each cycle. */
+    std::vector<FetchThreadState> fetchStates_;
+    /** fetchStage: thread pick order from the fetch policy. */
+    std::vector<ThreadId> fetchOrder_;
 };
 
 } // namespace smtdram

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Structure-of-arrays per-bank state with a readiness bitset.
+ *
+ * The controller runs a transaction-level timing model: each bank
+ * records which row its sense amplifiers currently hold and the cycle
+ * at which it can accept the next transaction.  Cross-bank overlap
+ * falls out naturally because only the shared data bus serializes.
+ *
+ * State lives in parallel arrays (one per field) instead of an array
+ * of Bank structs: the candidate-gathering scan touches only
+ * `readyAt`/`openRow`, so packing fields by kind keeps the scan's
+ * cache footprint minimal, and the `readyMask` bitset answers "can
+ * this bank start a transaction at cycle `now`" with one bit test.
+ *
+ * The mask is maintained lazily: launches/refreshes mark their bank
+ * busy, and sync(now) clears exactly the marked banks whose window
+ * has expired — O(busy banks), not O(banks).  It is a pure cache of
+ * `readyAt[b] <= syncedAt`; BankStateTest pins the equivalence.
+ */
+
+#ifndef SMTDRAM_DRAM_BANK_STATE_HH
+#define SMTDRAM_DRAM_BANK_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/blame.hh"
+
+namespace smtdram
+{
+
+/** State of all banks of one channel, stored field-major. */
+class BankStateSoA
+{
+  public:
+    /** openRow value of a precharged bank. */
+    static constexpr std::int64_t kNoRow = -1;
+
+    explicit BankStateSoA(std::uint32_t banks)
+        : openRow(banks, kNoRow),
+          readyAt(banks, 0),
+          nextRefreshAt(banks, kCycleNever),
+          busyCause(banks, BlameComponent::Queueing),
+          busyOwner(banks, kThreadNone),
+          hitRun(banks, 0),
+          busyMask_((banks + 63) / 64, 0)
+    {
+    }
+
+    /** Row held in the row buffer, or kNoRow when precharged. */
+    std::vector<std::int64_t> openRow;
+    /** Cycle at which the bank can start its next transaction. */
+    std::vector<Cycle> readyAt;
+    /** Next auto-refresh deadline (kCycleNever when unmodeled). */
+    std::vector<Cycle> nextRefreshAt;
+    /**
+     * Why the bank is busy until readyAt, and for whom — metadata for
+     * latency-blame attribution only (never consulted for timing).
+     * Stamped whenever readyAt is pushed forward, so requests
+     * arriving mid-window know what is blocking them.
+     */
+    std::vector<BlameComponent> busyCause;
+    std::vector<ThreadId> busyOwner;
+    /** Consecutive row-buffer hits in the bank's current run. */
+    std::vector<std::uint32_t> hitRun;
+
+    std::uint32_t
+    size() const
+    {
+        return static_cast<std::uint32_t>(openRow.size());
+    }
+
+    bool
+    rowHit(std::uint32_t bank, std::uint32_t row) const
+    {
+        return openRow[bank] == static_cast<std::int64_t>(row);
+    }
+
+    bool
+    idle(std::uint32_t bank) const
+    {
+        return openRow[bank] == kNoRow;
+    }
+
+    /**
+     * Record that `readyAt[bank]` was pushed into the future.  Callers
+     * must have set readyAt first; the mask shows the bank busy until
+     * a sync() at or past that cycle.
+     */
+    void
+    markBusy(std::uint32_t bank)
+    {
+        busyMask_[bank >> 6] |= std::uint64_t{1} << (bank & 63);
+    }
+
+    /**
+     * Bring the mask current to cycle @p now: visit only marked banks
+     * and clear those whose busy window has expired.
+     */
+    void
+    sync(Cycle now)
+    {
+        for (std::uint64_t &word : busyMask_) {
+            std::uint64_t pending = word;
+            if (!pending)
+                continue;
+            const std::uint32_t base = static_cast<std::uint32_t>(
+                (&word - busyMask_.data()) * 64);
+            while (pending) {
+                const std::uint32_t bit =
+                    static_cast<std::uint32_t>(__builtin_ctzll(pending));
+                pending &= pending - 1;
+                if (readyAt[base + bit] <= now)
+                    word &= ~(std::uint64_t{1} << bit);
+            }
+        }
+    }
+
+    /** One-bit readiness test; valid after sync(now). */
+    bool
+    ready(std::uint32_t bank) const
+    {
+        return !(busyMask_[bank >> 6] >> (bank & 63) & 1);
+    }
+
+  private:
+    /** Bit set = bank busy as of the last sync() (or marked since). */
+    std::vector<std::uint64_t> busyMask_;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_BANK_STATE_HH

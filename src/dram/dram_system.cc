@@ -71,6 +71,7 @@ DramSystem::serviceScrub(Cycle now)
             if (checker_)
                 checker_->onEnqueue(req, now);
             mc.enqueue(req);
+            ++outstanding_;
         }
         s.nextAt += ecc.scrubInterval;
         if (s.nextAt <= now)
@@ -100,6 +101,7 @@ DramSystem::serviceMitigations(Cycle now)
             if (checker_)
                 checker_->onEnqueue(req, now);
             mc.enqueue(req);
+            ++outstanding_;
         }
     }
 }
@@ -134,6 +136,7 @@ DramSystem::enqueueRead(Addr addr, ThreadId thread,
     if (checker_)
         checker_->onEnqueue(req, now);
     controllers_[req.coord.channel].enqueue(req);
+    ++outstanding_;
     return req.id;
 }
 
@@ -150,6 +153,7 @@ DramSystem::enqueueWrite(Addr addr, Cycle now)
     if (checker_)
         checker_->onEnqueue(req, now);
     controllers_[req.coord.channel].enqueue(req);
+    ++outstanding_;
     return req.id;
 }
 
@@ -177,13 +181,26 @@ DramSystem::tick(Cycle now)
     completedScratch_.clear();
     for (auto &mc : controllers_)
         mc.tick(now, completedScratch_);
+    // Retries re-enter their queue inside the controller (net zero);
+    // only final completions leave the system.
+    panic_if(completedScratch_.size() > outstanding_,
+             "outstanding counter underflow");
+    outstanding_ -= completedScratch_.size();
 
     if (completedScratch_.size() > 1) {
-        std::stable_sort(completedScratch_.begin(),
-                         completedScratch_.end(),
-                         [](const DramRequest &a, const DramRequest &b) {
-                             return a.completion < b.completion;
-                         });
+        // Stable insertion sort: a tick completes at most a handful
+        // of requests (usually already ordered, channels appended in
+        // index order), and std::stable_sort's temporary buffer was
+        // the last per-tick heap allocation on this path.
+        for (size_t i = 1; i < completedScratch_.size(); ++i) {
+            for (size_t j = i;
+                 j > 0 && completedScratch_[j].completion <
+                              completedScratch_[j - 1].completion;
+                 --j) {
+                std::swap(completedScratch_[j],
+                          completedScratch_[j - 1]);
+            }
+        }
     }
 
     for (const auto &req : completedScratch_) {
@@ -215,6 +232,14 @@ DramSystem::tick(Cycle now)
         // The checker's live set must equal what the queues (read,
         // write, scrub, in-flight) actually hold — scrub requests
         // included; a drift means a request leaked past one side.
+        // Also cross-check the incremental counter against the
+        // queues while we are paying for a scan anyway.
+        size_t summed = 0;
+        for (const auto &mc : controllers_)
+            summed += mc.outstanding();
+        panic_if(summed != outstanding_,
+                 "outstanding counter drifted: cached %zu, queues "
+                 "hold %zu", outstanding_, summed);
         if (checker_->outstanding() != outstandingRequests()) {
             dumpState(std::cerr);
             panic("conservation drift: checker tracks %llu live "
@@ -242,20 +267,13 @@ DramSystem::nextEventAt(Cycle now) const
 bool
 DramSystem::busy() const
 {
-    for (const auto &mc : controllers_) {
-        if (mc.busy())
-            return true;
-    }
-    return false;
+    return outstanding_ > 0;
 }
 
 size_t
 DramSystem::outstandingRequests() const
 {
-    size_t n = 0;
-    for (const auto &mc : controllers_)
-        n += mc.outstanding();
-    return n;
+    return outstanding_;
 }
 
 std::uint32_t

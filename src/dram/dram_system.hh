@@ -198,6 +198,11 @@ class DramSystem
     std::uint64_t nextId_ = 1;
     std::vector<std::uint32_t> perThreadOutstanding_;
     std::vector<std::uint64_t> perThreadReads_;
+    /** Queued + in-flight across all controllers, maintained at the
+     *  enqueue/completion boundaries so the per-cycle busy() and
+     *  Figure 4/5 sampling never sum queue sizes; cross-checked
+     *  against the queues on every checker age scan. */
+    std::size_t outstanding_ = 0;
     std::vector<DramRequest> completedScratch_;
     std::unique_ptr<ConservationChecker> checker_;
     Cycle lastAgeCheck_ = 0;

@@ -9,13 +9,6 @@
 namespace smtdram
 {
 
-/**
- * A scrub read older than this many scrub intervals escalates to
- * demand priority; bounded staleness, mirroring the deferred-refresh
- * bound above.
- */
-static constexpr Cycle kScrubEscalationIntervals = 8;
-
 namespace
 {
 
@@ -44,15 +37,8 @@ MemoryController::MemoryController(const DramConfig &config,
       // index-space edges.
       hammer_(config.hammer, config.banksPerChannel(),
               std::numeric_limits<std::uint32_t>::max()),
+      table_(TimingTable::build(config)),
       banks_(config.banksPerChannel()),
-      hitRun_(config.banksPerChannel(), 0),
-      // A new transaction's data phase starts after its bank-access
-      // sequence, so booking the bus up to (worst access latency +
-      // two bursts) ahead still lets banks overlap while keeping
-      // scheduling decisions late.
-      maxBusLead_(config.timing.precharge + config.timing.rowAccess +
-                  config.timing.columnAccess +
-                  2 * config.burstCycles()),
       power_(config),
       rankPower_(config, channel)
 {
@@ -60,13 +46,26 @@ MemoryController::MemoryController(const DramConfig &config,
     if (config_.refreshEnabled()) {
         // Stagger first deadlines evenly through one tREFI so the
         // banks of a channel never refresh in lockstep.
-        const Cycle interval = config_.timing.refreshInterval;
-        for (size_t i = 0; i < banks_.size(); ++i)
-            banks_[i].nextRefreshAt = (i + 1) * interval / banks_.size();
-        nextRefreshDue_ = banks_.front().nextRefreshAt;
-        for (const Bank &bank : banks_)
-            nextRefreshDue_ = std::min(nextRefreshDue_, bank.nextRefreshAt);
+        const Cycle interval = table_.refreshInterval;
+        const std::uint32_t n = banks_.size();
+        for (std::uint32_t i = 0; i < n; ++i)
+            banks_.nextRefreshAt[i] = (i + 1) * interval / n;
+        nextRefreshDue_ = banks_.nextRefreshAt.front();
+        for (const Cycle due : banks_.nextRefreshAt)
+            nextRefreshDue_ = std::min(nextRefreshDue_, due);
     }
+    // Queues hold small fixed-size entries; reserving the acceptance
+    // caps up front means even the cold-start ramp never reallocates.
+    readQueue_.reserve(config_.readQueueCap);
+    writeQueue_.reserve(config_.writeQueueCap);
+    scrubQueue_.reserve(config_.readQueueCap);
+    mitigationQueue_.reserve(config_.readQueueCap);
+    // One scheduling scan can surface reads, mitigations, scrubs, and
+    // writes together, so reserving the summed caps makes the scratch
+    // allocation-free for the controller's lifetime (ZeroAllocTest
+    // pins this).
+    candidateScratch_.reserve(3 * config_.readQueueCap +
+                              config_.writeQueueCap);
 }
 
 void
@@ -79,9 +78,8 @@ MemoryController::setTracer(Tracer *tracer)
     tracer_->nameProcess(pid, "dram.ch" + std::to_string(channel_));
     tracer_->nameThread(pid, kTraceTidQueue, "queue");
     tracer_->nameThread(pid, kTraceTidBus, "bus");
-    for (size_t b = 0; b < banks_.size(); ++b) {
-        tracer_->nameThread(pid,
-                            traceTidBank(static_cast<std::uint32_t>(b)),
+    for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+        tracer_->nameThread(pid, traceTidBank(b),
                             "bank" + std::to_string(b));
     }
     if (rankPower_.machineActive()) {
@@ -97,7 +95,7 @@ MemoryController::enqueue(DramRequest req)
 {
     panic_if(req.coord.bank >= banks_.size(),
              "bank %u out of range (%zu banks)", req.coord.bank,
-             banks_.size());
+             static_cast<size_t>(banks_.size()));
     if (req.op == MemOp::Read && !req.scrub && !req.mitigation &&
         req.retries == 0) {
         stats_.queueDepthHist.sample(readQueue_.size());
@@ -128,13 +126,16 @@ MemoryController::enqueue(DramRequest req)
     // Retried requests re-enter via retire(), not here.
     if (req.blameUpTo < req.arrival)
         req.blameUpTo = req.arrival;
-    const Bank &bank = banks_[req.coord.bank];
-    if (bank.readyAt > req.arrival)
-        accountWaitUntil(req, bank.readyAt, bank.busyCause, bank.busyOwner);
-    if (busFreeAt_ > req.arrival + maxBusLead_) {
-        accountWaitUntil(req, busFreeAt_ - maxBusLead_, busGateCause_,
-                         busOwner_);
+    const std::uint32_t b = req.coord.bank;
+    if (banks_.readyAt[b] > req.arrival) {
+        accountWaitUntil(req, banks_.readyAt[b], banks_.busyCause[b],
+                         banks_.busyOwner[b]);
     }
+    if (busFreeAt_ > req.arrival + table_.maxBusLead) {
+        accountWaitUntil(req, busFreeAt_ - table_.maxBusLead,
+                         busGateCause_, busOwner_);
+    }
+    std::vector<QueuedRef> *queue;
     if (req.mitigation) {
         // Preventive refreshes are paced by the Misra-Gries trigger
         // threshold; an unbounded queue means the tracker is firing
@@ -143,21 +144,29 @@ MemoryController::enqueue(DramRequest req)
                  "mitigation requests are maintenance reads");
         panic_if(mitigationQueue_.size() >= config_.readQueueCap,
                  "mitigation queue overflow");
-        mitigationQueue_.push_back(req);
+        queue = &mitigationQueue_;
     } else if (req.scrub) {
         // Patrol scrub is paced by the generator; a runaway queue
         // means the pacing logic is broken, not that load is high.
         panic_if(req.op != MemOp::Read, "scrub requests are reads");
         panic_if(scrubQueue_.size() >= config_.readQueueCap,
                  "scrub queue overflow");
-        scrubQueue_.push_back(req);
+        queue = &scrubQueue_;
     } else if (req.op == MemOp::Read) {
         panic_if(!canAcceptRead(), "read queue overflow");
-        readQueue_.push_back(req);
+        queue = &readQueue_;
     } else {
         panic_if(!canAcceptWrite(), "write queue overflow");
-        writeQueue_.push_back(req);
+        queue = &writeQueue_;
     }
+    // Capture the scan-filter fields before the move into the pool.
+    QueuedRef entry;
+    entry.bank = req.coord.bank;
+    entry.row = req.coord.row;
+    entry.arrival = req.arrival;
+    entry.notBefore = req.notBefore;
+    entry.h = pool_.alloc(std::move(req));
+    queue->push_back(entry);
 }
 
 void
@@ -205,15 +214,16 @@ MemoryController::accountBlocked(DramRequest &r, Cycle now, Cycle end,
 void
 MemoryController::accountBankWindow(std::uint32_t bank_index, Cycle now)
 {
-    const Bank &bank = banks_[bank_index];
-    if (bank.readyAt <= now)
+    const Cycle ready_at = banks_.readyAt[bank_index];
+    if (ready_at <= now)
         return;
-    const auto sweep = [&](std::deque<DramRequest> &queue) {
-        for (DramRequest &r : queue) {
-            if (r.coord.bank == bank_index) {
-                accountBlocked(r, now, bank.readyAt, bank.busyCause,
-                               bank.busyOwner);
-            }
+    const BlameComponent cause = banks_.busyCause[bank_index];
+    const ThreadId owner = banks_.busyOwner[bank_index];
+    const auto sweep = [&](const std::vector<QueuedRef> &queue) {
+        for (const QueuedRef &q : queue) {
+            if (q.bank == bank_index)
+                accountBlocked(pool_.at(q.h), now, ready_at, cause,
+                               owner);
         }
     };
     sweep(readQueue_);
@@ -226,12 +236,12 @@ void
 MemoryController::accountBusGate(Cycle now, BlameComponent cause,
                                  ThreadId owner)
 {
-    if (busFreeAt_ <= now + maxBusLead_)
+    if (busFreeAt_ <= now + table_.maxBusLead)
         return;
-    const Cycle gate_end = busFreeAt_ - maxBusLead_;
-    const auto sweep = [&](std::deque<DramRequest> &queue) {
-        for (DramRequest &r : queue)
-            accountBlocked(r, now, gate_end, cause, owner);
+    const Cycle gate_end = busFreeAt_ - table_.maxBusLead;
+    const auto sweep = [&](const std::vector<QueuedRef> &queue) {
+        for (const QueuedRef &q : queue)
+            accountBlocked(pool_.at(q.h), now, gate_end, cause, owner);
     };
     sweep(readQueue_);
     sweep(writeQueue_);
@@ -240,23 +250,24 @@ MemoryController::accountBusGate(Cycle now, BlameComponent cause,
 }
 
 void
-MemoryController::gatherCandidates(const std::deque<DramRequest> &queue,
+MemoryController::gatherCandidates(const std::vector<QueuedRef> &queue,
                                    CandidateSource source, Cycle now,
                                    std::vector<SchedCandidate> &out) const
 {
-    std::uint32_t index = 0;
-    for (const auto &req : queue) {
-        const std::uint32_t i = index++;
-        if (req.notBefore > now)
+    // The filters run on the entry's cached fields; the pool is
+    // dereferenced only for entries that survive them.
+    const std::uint32_t n = static_cast<std::uint32_t>(queue.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const QueuedRef &q = queue[i];
+        if (q.notBefore > now)
             continue;
-        const Bank &bank = banks_[req.coord.bank];
-        if (bank.readyAt > now)
+        // One bit test against the mask sync()ed at tryIssue entry.
+        if (!banks_.ready(q.bank))
             continue;
         SchedCandidate c;
-        c.req = &req;
-        c.rowHit = config_.pageMode == PageMode::Open &&
-                   bank.rowHit(req.coord.row);
-        c.bankIdle = bank.idle();
+        c.req = &pool_.at(q.h);
+        c.rowHit = table_.openMode && banks_.rowHit(q.bank, q.row);
+        c.bankIdle = banks_.idle(q.bank);
         c.source = source;
         c.sourceIndex = i;
         out.push_back(c);
@@ -268,23 +279,21 @@ MemoryController::gatherScrubCandidates(
     Cycle now, bool escalated_only,
     std::vector<SchedCandidate> &out) const
 {
-    const Cycle deadline =
-        kScrubEscalationIntervals * config_.ecc.scrubInterval;
-    std::uint32_t index = 0;
-    for (const auto &req : scrubQueue_) {
-        const std::uint32_t i = index++;
-        if (req.notBefore > now)
+    const Cycle deadline = table_.scrubDeadline;
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(scrubQueue_.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const QueuedRef &q = scrubQueue_[i];
+        if (q.notBefore > now)
             continue;
-        if (escalated_only && now - req.arrival <= deadline)
+        if (escalated_only && now - q.arrival <= deadline)
             continue;
-        const Bank &bank = banks_[req.coord.bank];
-        if (bank.readyAt > now)
+        if (!banks_.ready(q.bank))
             continue;
         SchedCandidate c;
-        c.req = &req;
-        c.rowHit = config_.pageMode == PageMode::Open &&
-                   bank.rowHit(req.coord.row);
-        c.bankIdle = bank.idle();
+        c.req = &pool_.at(q.h);
+        c.rowHit = table_.openMode && banks_.rowHit(q.bank, q.row);
+        c.bankIdle = banks_.idle(q.bank);
         c.source = CandidateSource::ScrubQueue;
         c.sourceIndex = i;
         out.push_back(c);
@@ -307,10 +316,21 @@ MemoryController::tryIssue(Cycle now)
     else if (writeQueue_.size() <= config_.writeLowWatermark)
         drainingWrites_ = false;
 
-    // Scheduling decisions are taken as late as possible: never book
-    // the data bus more than maxBusLead_ ahead of real time.
-    if (busFreeAt_ > now + maxBusLead_)
+    // Nothing queued anywhere: the gathers below would all come back
+    // empty, so skip the mask sync and scratch churn entirely.
+    if (readQueue_.empty() && writeQueue_.empty() &&
+        scrubQueue_.empty() && mitigationQueue_.empty()) {
         return;
+    }
+
+    // Scheduling decisions are taken as late as possible: never book
+    // the data bus more than maxBusLead ahead of real time.
+    if (busFreeAt_ > now + table_.maxBusLead)
+        return;
+
+    // Readiness bitset: expire bank-busy windows once, then every
+    // gather below tests one bit per candidate.
+    banks_.sync(now);
 
     // Member scratch: gathering runs every busy cycle and must not
     // allocate (capacity persists across calls).
@@ -347,18 +367,18 @@ MemoryController::tryIssue(Cycle now)
     const SchedCandidate &chosen = candidates[pick];
 
     // Remove by recorded position — no re-scan of the four queues.
-    std::deque<DramRequest> &q =
+    std::vector<QueuedRef> &q =
         chosen.source == CandidateSource::ReadQueue    ? readQueue_
         : chosen.source == CandidateSource::WriteQueue ? writeQueue_
         : chosen.source == CandidateSource::ScrubQueue ? scrubQueue_
                                                        : mitigationQueue_;
     panic_if(chosen.sourceIndex >= q.size() ||
-                 q[chosen.sourceIndex].id != chosen.req->id,
+                 pool_.at(q[chosen.sourceIndex].h).id != chosen.req->id,
              "picked request vanished from queues");
-    DramRequest req = std::move(q[chosen.sourceIndex]);
+    const ReqHandle h = q[chosen.sourceIndex].h;
     q.erase(q.begin() + chosen.sourceIndex);
 
-    launch(std::move(req), now);
+    launch(h, now);
 }
 
 Cycle
@@ -374,11 +394,11 @@ MemoryController::wakeRank(std::uint32_t rank, Cycle now)
     std::uint32_t closed = 0;
     const std::uint32_t lo = rank * config_.banksPerChip;
     for (std::uint32_t b = lo; b < lo + config_.banksPerChip; ++b) {
-        if (!banks_[b].idle()) {
-            banks_[b].openRow = Bank::kNoRow;
+        if (!banks_.idle(b)) {
+            banks_.openRow[b] = BankStateSoA::kNoRow;
             ++closed;
         }
-        std::uint32_t &run = hitRun_[b];
+        std::uint32_t &run = banks_.hitRun[b];
         if (run > 0) {
             stats_.rowHitRunHist.sample(run);
             run = 0;
@@ -390,41 +410,39 @@ MemoryController::wakeRank(std::uint32_t rank, Cycle now)
         // at the exit.  nextRefreshDue_ may briefly understate the new
         // deadlines, which only costs a few no-op refresh scans.
         for (std::uint32_t b = lo; b < lo + config_.banksPerChip; ++b)
-            banks_[b].nextRefreshAt =
-                now + config_.timing.refreshInterval;
+            banks_.nextRefreshAt[b] = now + table_.refreshInterval;
     }
     return w.penalty;
 }
 
 void
-MemoryController::launch(DramRequest req, Cycle now)
+MemoryController::launch(ReqHandle handle, Cycle now)
 {
-    Bank &bank = banks_[req.coord.bank];
-    panic_if(bank.readyAt > now, "launching into a busy bank");
+    DramRequest &req = pool_.at(handle);
+    const std::uint32_t bank = req.coord.bank;
+    panic_if(banks_.readyAt[bank] > now, "launching into a busy bank");
 
-    const std::uint32_t rank = rankPower_.rankOf(req.coord.bank);
+    const std::uint32_t rank = rankPower_.rankOf(bank);
     // Wake before classifying the access: powerdown entry precharged
     // the rank, so what the scheduler saw as a row hit lands on an
     // empty row buffer after an exit.
     const Cycle wake_penalty = wakeRank(rank, now);
 
-    const DramTiming &t = config_.timing;
-
     if (req.mitigation) {
         // Preventive refresh: a maintenance ACT+PRE row cycle on the
         // victim row — no column access, no data burst, no bus time.
         // It closes whatever row was open, ending the bank's hit run.
-        const bool was_idle = bank.idle();
-        Cycle lat = wake_penalty + t.rowAccess + t.precharge;
-        if (!was_idle)
-            lat += t.precharge;  // close the open row first
-        std::uint32_t &mrun = hitRun_[req.coord.bank];
+        const bool was_idle = banks_.idle(bank);
+        const Cycle lat =
+            wake_penalty + table_.mitigationLat[was_idle ? 1 : 0];
+        std::uint32_t &mrun = banks_.hitRun[bank];
         if (mrun > 0) {
             stats_.rowHitRunHist.sample(mrun);
             mrun = 0;
         }
-        bank.openRow = Bank::kNoRow;
-        bank.readyAt = now + lat;
+        banks_.openRow[bank] = BankStateSoA::kNoRow;
+        banks_.readyAt[bank] = now + lat;
+        banks_.markBusy(bank);
         req.issueTime = now;
         req.rowHit = false;
         req.bankWasIdle = was_idle;
@@ -438,72 +456,71 @@ MemoryController::launch(DramRequest req, Cycle now)
         req.blame.add(BlameComponent::HammerMitigation,
                       lat - wake_penalty);
         req.blameUpTo = req.completion;
-        bank.busyCause = BlameComponent::HammerMitigation;
-        bank.busyOwner = kThreadNone;
-        accountBankWindow(req.coord.bank, now);
+        banks_.busyCause[bank] = BlameComponent::HammerMitigation;
+        banks_.busyOwner[bank] = kThreadNone;
+        accountBankWindow(bank, now);
 
-        hammer_.onPreventiveRefresh(req.coord.bank, req.coord.row);
+        hammer_.onPreventiveRefresh(bank, req.coord.row);
         HammerStats &hs = hammer_.stats();
         ++hs.mitigationsIssued;
         hs.mitigationCycles += lat;
         power_.meterPreventiveRefresh(rank);
-        rankPower_.noteBusyUntil(rank, bank.readyAt);
+        rankPower_.noteBusyUntil(rank, banks_.readyAt[bank]);
 
         if (tracer_) {
             const int pid = tracePidChannel(channel_);
             tracer_->asyncStep("dram", "prevref", req.id, pid, now,
                                "sched");
-            tracer_->slice(pid, traceTidBank(req.coord.bank),
-                           "prevref", now, lat,
+            tracer_->slice(pid, traceTidBank(bank), "prevref", now, lat,
                            Tracer::arg("id", req.id));
         }
 
+        const Cycle completion = req.completion;
         auto mit = std::upper_bound(
-            inFlight_.begin(), inFlight_.end(), req.completion,
-            [](Cycle c, const DramRequest &r) {
+            inFlight_.begin(), inFlight_.end(), completion,
+            [](Cycle c, const InFlightRef &r) {
                 return c < r.completion;
             });
-        inFlight_.insert(mit, std::move(req));
+        inFlight_.insert(mit, InFlightRef{completion, handle});
         return;
     }
 
-    const bool open_mode = config_.pageMode == PageMode::Open;
-    const bool hit = open_mode && bank.rowHit(req.coord.row);
-    const bool idle = bank.idle();
+    const bool hit = table_.openMode && banks_.rowHit(bank, req.coord.row);
+    const bool idle = banks_.idle(bank);
 
-    Cycle access_lat = 0;
+    std::uint32_t outcome;
     if (hit) {
-        access_lat = t.columnAccess;
+        outcome = kRowHit;
         ++stats_.rowHits;
     } else if (idle) {
-        access_lat = t.rowAccess + t.columnAccess;
+        outcome = kRowEmpty;
         ++stats_.rowEmpty;
     } else {
-        access_lat = t.precharge + t.rowAccess + t.columnAccess;
+        outcome = kRowConflict;
         ++stats_.rowConflicts;
     }
     // Low-power exit latency delays the command sequence itself.
-    access_lat += wake_penalty;
+    const Cycle access_lat = table_.accessLat[outcome] + wake_penalty;
 
     if (hammer_.active()) {
         // Every row activation disturbs the neighbors; the tracker
         // may append preventive-refresh requests the system will
         // materialize on its next tick.
         if (!hit) {
-            hammer_.recordActivation(req.coord.bank, req.coord.row,
-                                     injector_, pendingMitigations_);
+            hammer_.recordActivation(bank, req.coord.row, injector_,
+                                     pendingMitigations_);
         }
         // A data write overwrites the victim row's content, repairing
         // any disturbance flips it carried (row-granular abstraction;
         // see DESIGN.md section 13).
         if (req.op == MemOp::Write) {
-            hammer_.clearFlips(req.coord.bank, req.coord.row,
+            hammer_.clearFlips(bank, req.coord.row,
                                /*countAsScrubbed=*/true);
         }
     }
 
     // Row-locality run lengths: a miss ends the bank's current run.
-    std::uint32_t &run = hitRun_[req.coord.bank];
+    std::uint32_t &run = banks_.hitRun[bank];
     if (hit) {
         ++run;
     } else {
@@ -513,7 +530,7 @@ MemoryController::launch(DramRequest req, Cycle now)
     }
 
     // With ECC the burst also moves the check bits.
-    const Cycle transfer = config_.burstCycles();
+    const Cycle transfer = table_.burst;
     const Cycle data_ready = now + access_lat;
     const Cycle data_start = std::max(data_ready, busFreeAt_);
     const Cycle data_end = data_start + transfer;
@@ -521,69 +538,66 @@ MemoryController::launch(DramRequest req, Cycle now)
     busFreeAt_ = data_end;
     stats_.busBusyCycles += transfer;
     if (config_.ecc.enabled)
-        stats_.eccCheckCycles += config_.ecc.checkOverheadCycles;
+        stats_.eccCheckCycles += table_.eccOverhead;
 
-    if (open_mode) {
-        bank.openRow = req.coord.row;
-        bank.readyAt = data_end;
+    if (table_.openMode) {
+        banks_.openRow[bank] = req.coord.row;
+        banks_.readyAt[bank] = data_end;
     } else {
         // Auto-precharge overlaps nothing else on this bank.
-        bank.openRow = Bank::kNoRow;
-        bank.readyAt = data_end + t.precharge;
+        banks_.openRow[bank] = BankStateSoA::kNoRow;
+        banks_.readyAt[bank] = data_end + table_.closePageTail;
     }
+    banks_.markBusy(bank);
 
     req.issueTime = now;
     req.rowHit = hit;
     req.bankWasIdle = idle;
-    req.completion = data_end + t.controllerOverhead;
+    req.completion = data_end + table_.controllerOverhead;
 
     // Blame: close the wait gap at launch, then decompose the service
     // phase analytically — sums to completion - now by construction.
     accountWaitUntil(req, now, BlameComponent::SchedulerDeferral,
                      kThreadNone);
     req.blame.add(BlameComponent::PowerExit, wake_penalty);
-    req.blame.add(BlameComponent::BankConflict,
-                  access_lat - wake_penalty - t.columnAccess);
-    const Cycle ecc_overhead =
-        config_.ecc.enabled ? config_.ecc.checkOverheadCycles : 0;
-    req.blame.add(BlameComponent::EccOverhead, ecc_overhead);
+    req.blame.add(BlameComponent::BankConflict, table_.bankPrep[outcome]);
+    req.blame.add(BlameComponent::EccOverhead, table_.eccOverhead);
     req.blame.add(BlameComponent::BusContention, data_start - data_ready);
-    req.blame.add(BlameComponent::Intrinsic,
-                  t.columnAccess + (transfer - ecc_overhead) +
-                      t.controllerOverhead);
+    req.blame.add(BlameComponent::Intrinsic, table_.intrinsic);
     req.blameUpTo = req.completion;
     // Charge everyone queued behind the bank window and the bus-gate
     // window this launch just created.
-    bank.busyCause = req.scrub ? BlameComponent::ScrubInterference
-                               : BlameComponent::Queueing;
-    bank.busyOwner = req.scrub ? kThreadNone : req.thread;
-    accountBankWindow(req.coord.bank, now);
+    banks_.busyCause[bank] = req.scrub
+                                 ? BlameComponent::ScrubInterference
+                                 : BlameComponent::Queueing;
+    banks_.busyOwner[bank] = req.scrub ? kThreadNone : req.thread;
+    accountBankWindow(bank, now);
     busGateCause_ = BlameComponent::Queueing;
-    busOwner_ = bank.busyOwner;
+    busOwner_ = banks_.busyOwner[bank];
     accountBusGate(now, busGateCause_, busOwner_);
 
     // Energy: the commands this access issued, attributed to its rank.
     power_.meterAccess(rank, req.op == MemOp::Write, req.scrub, hit,
                        idle);
-    rankPower_.noteBusyUntil(rank, bank.readyAt);
+    rankPower_.noteBusyUntil(rank, banks_.readyAt[bank]);
 
     if (tracer_) {
         const int pid = tracePidChannel(channel_);
-        const int bank_tid = traceTidBank(req.coord.bank);
+        const int bank_tid = traceTidBank(bank);
         const char *name = requestTraceName(req);
         tracer_->asyncStep("dram", name, req.id, pid, now, "sched");
         Cycle at = now + wake_penalty;
         if (!hit && !idle) {
-            tracer_->slice(pid, bank_tid, "PRE", at, t.precharge,
+            tracer_->slice(pid, bank_tid, "PRE", at, table_.precharge,
                            Tracer::arg("id", req.id));
-            at += t.precharge;
+            at += table_.precharge;
         }
         if (!hit) {
-            tracer_->slice(pid, bank_tid, "ACT", at, t.rowAccess,
+            tracer_->slice(pid, bank_tid, "ACT", at, table_.rowAccess,
                            Tracer::arg("id", req.id));
-            at += t.rowAccess;
+            at += table_.rowAccess;
         }
-        tracer_->slice(pid, bank_tid, "CAS", at, t.columnAccess,
+        tracer_->slice(pid, bank_tid, "CAS", at, table_.columnAccess,
                        Tracer::arg("id", req.id));
         tracer_->slice(pid, kTraceTidBus, "burst", data_start,
                        transfer, Tracer::arg("id", req.id));
@@ -611,22 +625,22 @@ MemoryController::launch(DramRequest req, Cycle now)
     }
 
     // Keep inFlight_ sorted by completion for cheap retirement.
+    const Cycle completion = req.completion;
     auto it = std::upper_bound(
-        inFlight_.begin(), inFlight_.end(), req.completion,
-        [](Cycle c, const DramRequest &r) { return c < r.completion; });
-    inFlight_.insert(it, std::move(req));
+        inFlight_.begin(), inFlight_.end(), completion,
+        [](Cycle c, const InFlightRef &r) { return c < r.completion; });
+    inFlight_.insert(it, InFlightRef{completion, handle});
 }
 
 void
 MemoryController::serviceRefresh(Cycle now)
 {
-    const Cycle interval = config_.timing.refreshInterval;
-    const Cycle duration = config_.timing.refreshCycles;
+    const Cycle interval = table_.refreshInterval;
+    const Cycle duration = table_.refreshCycles;
+    const std::uint32_t n = banks_.size();
     Cycle next_due = kCycleNever;
-    for (Bank &bank : banks_) {
-        if (now >= bank.nextRefreshAt) {
-            const std::uint32_t bank_index =
-                static_cast<std::uint32_t>(&bank - banks_.data());
+    for (std::uint32_t bank_index = 0; bank_index < n; ++bank_index) {
+        if (now >= banks_.nextRefreshAt[bank_index]) {
             const std::uint32_t rank = rankPower_.rankOf(bank_index);
             if (rankPower_.machineActive() &&
                 rankPower_.stateAt(rank, now) ==
@@ -635,19 +649,19 @@ MemoryController::serviceRefresh(Cycle now)
                 // controller absorbs the deadline instead of waking
                 // the rank just to refresh it.
                 power_.noteRefreshSuppressed();
-                bank.nextRefreshAt = now + interval;
+                banks_.nextRefreshAt[bank_index] = now + interval;
                 if (hammer_.active()) {
                     // The device refreshed itself: charge restored,
                     // disturbance window over.
-                    hammer_.onBankRefresh(static_cast<std::uint32_t>(
-                        &bank - banks_.data()));
+                    hammer_.onBankRefresh(bank_index);
                 }
-            } else if (bank.readyAt > now) {
+            } else if (banks_.readyAt[bank_index] > now) {
                 // A refresh due on a busy bank waits for the
                 // in-progress transaction; DDR allows postponing a
                 // bounded number of refreshes, so flag only
                 // pathological deferral.
-                if (now - bank.nextRefreshAt > 8 * interval) {
+                if (now - banks_.nextRefreshAt[bank_index] >
+                    8 * interval) {
                     warn_once(
                         "bank refresh deferred more than 8*tREFI; "
                         "the channel is likely wedged");
@@ -657,12 +671,15 @@ MemoryController::serviceRefresh(Cycle now)
                 // to take the refresh; the exit latency folds into
                 // this refresh's bank-busy window.
                 const Cycle exit_lat = wakeRank(rank, now);
-                bank.openRow = Bank::kNoRow;  // refresh == precharge
-                bank.readyAt = now + exit_lat + duration;
+                // refresh == precharge
+                banks_.openRow[bank_index] = BankStateSoA::kNoRow;
+                banks_.readyAt[bank_index] = now + exit_lat + duration;
+                banks_.markBusy(bank_index);
                 // Blame: the whole window (wake included) stalls any
                 // queued same-bank request as refresh.
-                bank.busyCause = BlameComponent::RefreshStall;
-                bank.busyOwner = kThreadNone;
+                banks_.busyCause[bank_index] =
+                    BlameComponent::RefreshStall;
+                banks_.busyOwner[bank_index] = kThreadNone;
                 accountBankWindow(bank_index, now);
                 if (tracer_) {
                     tracer_->slice(tracePidChannel(channel_),
@@ -671,18 +688,19 @@ MemoryController::serviceRefresh(Cycle now)
                 }
                 // Catch up without scheduling a burst of back-to-back
                 // refreshes if the bank was blocked a few intervals.
-                bank.nextRefreshAt += interval;
-                if (bank.nextRefreshAt <= now)
-                    bank.nextRefreshAt = now + interval;
+                banks_.nextRefreshAt[bank_index] += interval;
+                if (banks_.nextRefreshAt[bank_index] <= now)
+                    banks_.nextRefreshAt[bank_index] = now + interval;
                 ++stats_.refreshes;
                 stats_.refreshBlockedCycles += exit_lat + duration;
                 power_.meterRefresh(rank);
-                rankPower_.noteBusyUntil(rank, bank.readyAt);
+                rankPower_.noteBusyUntil(rank,
+                                         banks_.readyAt[bank_index]);
                 if (hammer_.active())
                     hammer_.onBankRefresh(bank_index);
             }
         }
-        next_due = std::min(next_due, bank.nextRefreshAt);
+        next_due = std::min(next_due, banks_.nextRefreshAt[bank_index]);
     }
     // Deferred banks keep nextRefreshDue_ <= now, so idleAt() stays
     // false and the system keeps ticking until they refresh.
@@ -699,7 +717,8 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
         return;
 
     for (size_t i = 0; i < done; ++i) {
-        DramRequest &req = inFlight_[i];
+        const ReqHandle handle = inFlight_[i].h;
+        DramRequest &req = pool_.at(handle);
         bool exhausted = false;
         if (req.op == MemOp::Read && !req.mitigation &&
             injector_.active() && injector_.sampleReadError()) {
@@ -719,13 +738,15 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
                 // Blame: like enqueue, account windows standing at
                 // re-queue time (the backoff embargo routes most of
                 // them to fault-retry via the notBefore split).
-                const Bank &rb = banks_[req.coord.bank];
-                if (rb.readyAt > now) {
-                    accountWaitUntil(req, rb.readyAt, rb.busyCause,
-                                     rb.busyOwner);
+                const std::uint32_t rb = req.coord.bank;
+                if (banks_.readyAt[rb] > now) {
+                    accountWaitUntil(req, banks_.readyAt[rb],
+                                     banks_.busyCause[rb],
+                                     banks_.busyOwner[rb]);
                 }
-                if (busFreeAt_ > now + maxBusLead_) {
-                    accountWaitUntil(req, busFreeAt_ - maxBusLead_,
+                if (busFreeAt_ > now + table_.maxBusLead) {
+                    accountWaitUntil(req,
+                                     busFreeAt_ - table_.maxBusLead,
                                      busGateCause_, busOwner_);
                 }
                 if (tracer_) {
@@ -734,7 +755,17 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
                                      Tracer::arg2("id", req.id, "retry",
                                                   req.retries));
                 }
-                (req.scrub ? scrubQueue_ : readQueue_).push_back(req);
+                // The pooled slot survives the round trip: only the
+                // queue entry is rebuilt (notBefore moved, so the
+                // cached copy must be refreshed).
+                QueuedRef entry;
+                entry.h = handle;
+                entry.bank = rb;
+                entry.row = req.coord.row;
+                entry.arrival = req.arrival;
+                entry.notBefore = req.notBefore;
+                (req.scrub ? scrubQueue_ : readQueue_)
+                    .push_back(entry);
                 continue;
             }
             ++stats_.retriesExhausted;
@@ -828,7 +859,8 @@ MemoryController::retire(Cycle now, std::vector<DramRequest> &completed)
             tracer_->asyncEnd("dram", requestTraceName(req), req.id,
                               pid, req.completion);
         }
-        completed.push_back(std::move(req));
+        completed.push_back(req);
+        pool_.release(handle);
     }
     inFlight_.erase(inFlight_.begin(), inFlight_.begin() + done);
 }
@@ -874,12 +906,13 @@ MemoryController::nextEventAt(Cycle now) const
         next = std::min(next, inFlight_.front().completion);
 
     if (config_.refreshEnabled()) {
-        for (const Bank &bank : banks_) {
+        const std::uint32_t n = banks_.size();
+        for (std::uint32_t b = 0; b < n; ++b) {
             // A future deadline is itself the event; one already due
             // on a busy bank fires when the bank frees.
-            next = std::min(next, bank.nextRefreshAt > now
-                                      ? bank.nextRefreshAt
-                                      : bank.readyAt);
+            next = std::min(next, banks_.nextRefreshAt[b] > now
+                                      ? banks_.nextRefreshAt[b]
+                                      : banks_.readyAt[b]);
         }
     }
 
@@ -889,12 +922,12 @@ MemoryController::nextEventAt(Cycle now) const
     // state; anything that changes it earlier (a retire, a refresh)
     // is already in the min above.  Candidates clamp to now + 1
     // because tryIssue launches at most one transaction per cycle.
-    const Cycle bus_gate =
-        busFreeAt_ > maxBusLead_ ? busFreeAt_ - maxBusLead_ : 0;
-    const auto queue_next = [&](const std::deque<DramRequest> &queue) {
-        for (const DramRequest &req : queue) {
-            Cycle t = std::max(req.notBefore,
-                               banks_[req.coord.bank].readyAt);
+    const Cycle bus_gate = busFreeAt_ > table_.maxBusLead
+                               ? busFreeAt_ - table_.maxBusLead
+                               : 0;
+    const auto queue_next = [&](const std::vector<QueuedRef> &queue) {
+        for (const QueuedRef &q : queue) {
+            Cycle t = std::max(q.notBefore, banks_.readyAt[q.bank]);
             t = std::max(t, bus_gate);
             next = std::min(next, std::max(t, now + 1));
         }
@@ -909,12 +942,17 @@ MemoryController::nextEventAt(Cycle now) const
 namespace
 {
 
+// Templated over the queue type: the entries are a private nested
+// type of MemoryController, which a free function can receive via
+// deduction but not name.
+template <typename Queue>
 void
-dumpQueue(std::ostream &os, const char *name,
-          const std::deque<DramRequest> &queue)
+dumpQueue(std::ostream &os, const char *name, const RequestPool &pool,
+          const Queue &queue)
 {
     os << "  " << name << " (" << queue.size() << "):\n";
-    for (const auto &r : queue) {
+    for (const auto &q : queue) {
+        const DramRequest &r = pool.at(q.h);
         os << "    id=" << r.id
            << " op=" << (r.op == MemOp::Read ? "R" : "W")
            << " addr=0x" << std::hex << r.addr << std::dec
@@ -938,25 +976,25 @@ MemoryController::dumpState(std::ostream &os) const
        << " drainingWrites=" << (drainingWrites_ ? "yes" : "no")
        << " outstanding=" << outstanding() << "\n";
     os << "  banks:\n";
-    for (size_t i = 0; i < banks_.size(); ++i) {
-        const Bank &b = banks_[i];
-        os << "    [" << i << "] openRow=" << b.openRow
-           << " readyAt=" << b.readyAt;
-        if (b.nextRefreshAt != kCycleNever)
-            os << " nextRefreshAt=" << b.nextRefreshAt;
+    for (std::uint32_t i = 0; i < banks_.size(); ++i) {
+        os << "    [" << i << "] openRow=" << banks_.openRow[i]
+           << " readyAt=" << banks_.readyAt[i];
+        if (banks_.nextRefreshAt[i] != kCycleNever)
+            os << " nextRefreshAt=" << banks_.nextRefreshAt[i];
         os << "\n";
     }
-    dumpQueue(os, "readQueue", readQueue_);
-    dumpQueue(os, "writeQueue", writeQueue_);
+    dumpQueue(os, "readQueue", pool_, readQueue_);
+    dumpQueue(os, "writeQueue", pool_, writeQueue_);
     // Always dumped (not gated on ecc.enabled): queued scrub entries
     // count into outstanding(), and a conservation-checker diagnosis
     // must show every request the count covers.
-    dumpQueue(os, "scrubQueue", scrubQueue_);
+    dumpQueue(os, "scrubQueue", pool_, scrubQueue_);
     // Same rationale as the scrub queue: mitigation entries count
     // into outstanding(), so a conservation diagnosis must see them.
-    dumpQueue(os, "mitigationQueue", mitigationQueue_);
+    dumpQueue(os, "mitigationQueue", pool_, mitigationQueue_);
     os << "  inFlight (" << inFlight_.size() << "):\n";
-    for (const auto &r : inFlight_) {
+    for (const InFlightRef &f : inFlight_) {
+        const DramRequest &r = pool_.at(f.h);
         os << "    id=" << r.id
            << " op=" << (r.op == MemOp::Read ? "R" : "W")
            << " bank=" << r.coord.bank << " issued=" << r.issueTime

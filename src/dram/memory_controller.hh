@@ -18,27 +18,34 @@
  * else can, except that a scrub read stale past a bounded-staleness
  * deadline is escalated to demand priority so sustained load cannot
  * stall patrol progress forever.
+ *
+ * Data layout (see DESIGN.md section 16): command timings come from a
+ * TimingTable precomputed at construction, bank state is
+ * structure-of-arrays with a readiness bitset, and requests live in a
+ * slab pool — the queues hold generation-checked handles, so the
+ * enqueue→complete lifecycle allocates nothing at steady state.
  */
 
 #ifndef SMTDRAM_DRAM_MEMORY_CONTROLLER_HH
 #define SMTDRAM_DRAM_MEMORY_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/trace_event.hh"
-#include "dram/bank.hh"
+#include "dram/bank_state.hh"
 #include "dram/dram_config.hh"
 #include "dram/dram_types.hh"
 #include "dram/fault_injector.hh"
 #include "dram/power_model.hh"
 #include "dram/power_state.hh"
+#include "dram/request_pool.hh"
 #include "dram/row_hammer.hh"
 #include "dram/scheduler.hh"
+#include "dram/timing_table.hh"
 
 namespace smtdram
 {
@@ -285,24 +292,51 @@ class MemoryController
     void
     forEachRequest(Fn &&fn) const
     {
-        for (const auto &r : readQueue_)
-            fn(r);
-        for (const auto &r : writeQueue_)
-            fn(r);
-        for (const auto &r : scrubQueue_)
-            fn(r);
-        for (const auto &r : mitigationQueue_)
-            fn(r);
-        for (const auto &r : inFlight_)
-            fn(r);
+        for (const QueuedRef &q : readQueue_)
+            fn(pool_.at(q.h));
+        for (const QueuedRef &q : writeQueue_)
+            fn(pool_.at(q.h));
+        for (const QueuedRef &q : scrubQueue_)
+            fn(pool_.at(q.h));
+        for (const QueuedRef &q : mitigationQueue_)
+            fn(pool_.at(q.h));
+        for (const InFlightRef &f : inFlight_)
+            fn(pool_.at(f.h));
     }
 
+    /** The precomputed command-timing table (tests assert identities
+     *  against the raw config arithmetic). */
+    const TimingTable &timings() const { return table_; }
+
   private:
+    /** A launched transaction, ordered by completion time. */
+    struct InFlightRef {
+        Cycle completion;
+        ReqHandle h;
+    };
+
+    /**
+     * A queued transaction: the pool handle plus copies of the fields
+     * the per-cycle scans (candidate gathering, bank-window blame,
+     * nextEventAt) filter on.  All four are immutable while the entry
+     * sits in a queue — bank/row/arrival never change, and notBefore
+     * is only written at enqueue and at retry re-queue, both of which
+     * (re)build the entry — so a scan touches the pooled request only
+     * for entries that survive the filters.
+     */
+    struct QueuedRef {
+        ReqHandle h;
+        std::uint32_t bank;
+        std::uint32_t row;
+        Cycle arrival;
+        Cycle notBefore;
+    };
+
     /** Launch the best eligible transaction, if any. */
     void tryIssue(Cycle now);
 
     /** Collect policy candidates from @p queue, tagged @p source. */
-    void gatherCandidates(const std::deque<DramRequest> &queue,
+    void gatherCandidates(const std::vector<QueuedRef> &queue,
                           CandidateSource source, Cycle now,
                           std::vector<SchedCandidate> &out) const;
 
@@ -314,8 +348,8 @@ class MemoryController
     void gatherScrubCandidates(Cycle now, bool escalated_only,
                                std::vector<SchedCandidate> &out) const;
 
-    /** Execute the chosen request's timing; returns completion time. */
-    void launch(DramRequest req, Cycle now);
+    /** Execute the chosen request's timing (in place in the pool). */
+    void launch(ReqHandle h, Cycle now);
 
     /**
      * Materialize a rank's power-state exit for a command at @p now:
@@ -364,9 +398,11 @@ class MemoryController
     /** Disturbance model + aggressor tracker (inert when off). */
     RowHammerModel hammer_;
     Tracer *tracer_ = nullptr;
-    std::vector<Bank> banks_;
-    /** Per-bank consecutive row-hit run in progress. */
-    std::vector<std::uint32_t> hitRun_;
+    /** Flat command timings derived once from config_ (never changes
+     *  after construction; every hot-path latency reads from here). */
+    TimingTable table_;
+    /** Per-bank state, field-major, with the readiness bitset. */
+    BankStateSoA banks_;
     Cycle busFreeAt_ = 0;
     /** Thread whose burst last booked the bus (kThreadNone for
      *  writebacks/maintenance/injected stalls) — blame metadata. */
@@ -374,21 +410,21 @@ class MemoryController
     /** What a standing bus-gate window is attributed to: Queueing
      *  after a burst booking, FaultRetry after an injected stall. */
     BlameComponent busGateCause_ = BlameComponent::Queueing;
-    /** Don't book the bus further ahead than this; keeps scheduling
-     *  decisions late so newly arrived hits can still win. */
-    Cycle maxBusLead_;
 
-    std::deque<DramRequest> readQueue_;
-    std::deque<DramRequest> writeQueue_;
+    /** Backing store for every queued or in-flight request; the
+     *  queues below hold handles (plus scan-filter fields) into it. */
+    RequestPool pool_;
+    std::vector<QueuedRef> readQueue_;
+    std::vector<QueuedRef> writeQueue_;
     /** ECC patrol-scrub reads; lowest priority unless escalated. */
-    std::deque<DramRequest> scrubQueue_;
+    std::vector<QueuedRef> scrubQueue_;
     /** Rowhammer preventive refreshes; compete with demand reads. */
-    std::deque<DramRequest> mitigationQueue_;
+    std::vector<QueuedRef> mitigationQueue_;
     /** Refreshes the tracker requested but the system has not yet
      *  materialized into queued maintenance commands. */
     std::vector<MitigationRequest> pendingMitigations_;
     /** Launched transactions ordered by completion time. */
-    std::vector<DramRequest> inFlight_;
+    std::vector<InFlightRef> inFlight_;
     bool drainingWrites_ = false;
 
     /** Reused by tryIssue() so the per-cycle hot path never allocates

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Slab pool for in-flight DRAM requests with generation-checked
+ * handles.
+ *
+ * Queued and in-flight requests used to live by value in per-queue
+ * deques, so every enqueue, re-queue, and retirement shuffled ~200-byte
+ * DramRequest objects (blame array included) through deque blocks the
+ * allocator handed out and took back at steady state.  The pool gives
+ * each request one stable slot for its whole enqueue→complete
+ * lifetime; queues then hold 8-byte handles, moving a request between
+ * queues or into the in-flight list is a handle copy, and after the
+ * warm-up high-water mark the lifecycle performs zero heap
+ * allocations (pinned by ZeroAllocTest).
+ *
+ * Handles carry a generation so a stale handle (slot recycled since)
+ * is caught deterministically: at() panics instead of silently
+ * returning another request's state.  Slabs are never freed or moved,
+ * so `DramRequest *` taken from at() stays valid until release() —
+ * the scheduler's candidate views depend on that stability.
+ */
+
+#ifndef SMTDRAM_DRAM_REQUEST_POOL_HH
+#define SMTDRAM_DRAM_REQUEST_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "dram/dram_types.hh"
+
+namespace smtdram
+{
+
+/** Generation-checked reference to a pooled request. */
+struct ReqHandle {
+    static constexpr std::uint32_t kInvalidSlot = ~std::uint32_t{0};
+    std::uint32_t slot = kInvalidSlot;
+    std::uint32_t gen = 0;
+
+    bool valid() const { return slot != kInvalidSlot; }
+};
+
+/** Grow-only slab allocator of DramRequest slots. */
+class RequestPool
+{
+  public:
+    /** Slots per slab; slabs are allocated whole and never freed. */
+    static constexpr std::uint32_t kSlabSlots = 64;
+
+    /** Move @p req into a fresh slot (grows by one slab if full). */
+    ReqHandle
+    alloc(DramRequest req)
+    {
+        if (freeHead_ == kNone)
+            grow();
+        const std::uint32_t slot = freeHead_;
+        Slot &s = at_(slot);
+        freeHead_ = s.nextFree;
+        s.live = true;
+        s.req = std::move(req);
+        ++live_;
+        return ReqHandle{slot, s.gen};
+    }
+
+    /** Return @p h's slot to the free list and bump its generation,
+     *  invalidating every outstanding copy of the handle. */
+    void
+    release(ReqHandle h)
+    {
+        Slot &s = checked(h);
+        s.live = false;
+        ++s.gen;
+        s.nextFree = freeHead_;
+        freeHead_ = h.slot;
+        --live_;
+    }
+
+    DramRequest &
+    at(ReqHandle h)
+    {
+        return checked(h).req;
+    }
+
+    const DramRequest &
+    at(ReqHandle h) const
+    {
+        return const_cast<RequestPool *>(this)->checked(h).req;
+    }
+
+    /** Requests currently allocated. */
+    std::size_t live() const { return live_; }
+
+    /** Total slots across all slabs (the high-water capacity). */
+    std::size_t
+    capacity() const
+    {
+        return slabs_.size() * kSlabSlots;
+    }
+
+    /** Pre-grow so the first @p n allocations never touch the heap. */
+    void
+    reserve(std::size_t n)
+    {
+        while (capacity() < n)
+            grow();
+    }
+
+  private:
+    static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+    struct Slot {
+        DramRequest req;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = kNone;
+        bool live = false;
+    };
+
+    Slot &
+    at_(std::uint32_t slot)
+    {
+        return slabs_[slot / kSlabSlots][slot % kSlabSlots];
+    }
+
+    Slot &
+    checked(ReqHandle h)
+    {
+        panic_if(h.slot >= capacity(),
+                 "request handle slot %u out of range (%zu slots)",
+                 h.slot, capacity());
+        Slot &s = at_(h.slot);
+        panic_if(!s.live || s.gen != h.gen,
+                 "stale request handle: slot %u generation %u "
+                 "(current %u, %s)",
+                 h.slot, h.gen, s.gen, s.live ? "live" : "freed");
+        return s;
+    }
+
+    void
+    grow()
+    {
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(capacity());
+        slabs_.push_back(std::make_unique<Slot[]>(kSlabSlots));
+        Slot *slab = slabs_.back().get();
+        // Thread the new slab onto the free list front-to-back so
+        // allocation order inside a slab is ascending (deterministic
+        // and cache-friendly).
+        for (std::uint32_t i = kSlabSlots; i-- > 0;) {
+            slab[i].nextFree = freeHead_;
+            freeHead_ = base + i;
+        }
+    }
+
+    /** Stable storage: pointers into a slab survive pool growth. */
+    std::vector<std::unique_ptr<Slot[]>> slabs_;
+    std::uint32_t freeHead_ = kNone;
+    std::size_t live_ = 0;
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_REQUEST_POOL_HH

@@ -26,7 +26,6 @@
 #include <string>
 #include <vector>
 
-#include "dram/bank.hh"
 #include "dram/dram_types.hh"
 
 namespace smtdram

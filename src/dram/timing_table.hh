@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Precomputed DRAM command-timing table.
+ *
+ * The controller's launch path used to recombine tRCD/tRP/CAS, burst
+ * length, ECC check-bit overhead, and controller overhead with
+ * scattered per-call arithmetic (including a double-division ceiling
+ * for the burst).  A TimingTable collapses every inter-command
+ * constraint the transaction-level model uses into flat arrays built
+ * once from a validated DramConfig, so the hot path indexes by row
+ * outcome instead of recomputing.  The table is pure derived data:
+ * every entry is definitionally equal to the expression it replaced,
+ * which is what keeps the fig1-fig13 goldens byte-identical
+ * (TimingTableTest pins each identity).
+ */
+
+#ifndef SMTDRAM_DRAM_TIMING_TABLE_HH
+#define SMTDRAM_DRAM_TIMING_TABLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/dram_config.hh"
+
+namespace smtdram
+{
+
+/**
+ * Row-buffer outcome of an access, used as the index into the
+ * per-outcome latency arrays.  Ordered from cheapest to costliest
+ * command sequence.
+ */
+enum RowOutcome : std::uint32_t {
+    kRowHit = 0,      ///< open row matches: CAS only
+    kRowEmpty = 1,    ///< bank precharged: ACT + CAS
+    kRowConflict = 2, ///< other row open: PRE + ACT + CAS
+    kNumRowOutcomes = 3,
+};
+
+/**
+ * A scrub read older than this many scrub intervals escalates to
+ * demand priority; bounded staleness, mirroring the bounded
+ * refresh-deferral rule.
+ */
+inline constexpr Cycle kScrubEscalationIntervals = 8;
+
+/** Flat lookup tables for every timing the controller hot path needs. */
+struct TimingTable {
+    /** Bank command-sequence latency by row outcome (excludes any
+     *  power-exit penalty, which is dynamic). */
+    std::array<Cycle, kNumRowOutcomes> accessLat{};
+    /** accessLat minus the CAS term: the slice blamed on
+     *  BankConflict (0 for a hit). */
+    std::array<Cycle, kNumRowOutcomes> bankPrep{};
+    /** Maintenance ACT+PRE row cycle of a preventive refresh,
+     *  indexed by bank-idle (an open row adds one more precharge). */
+    std::array<Cycle, 2> mitigationLat{};
+
+    /** Data-bus occupancy of one burst, ECC check bits included. */
+    Cycle burst = 0;
+    /** Check-bit slice of `burst` (0 with ECC off). */
+    Cycle eccOverhead = 0;
+    /** Unloaded service time blamed as Intrinsic:
+     *  CAS + data burst (sans check bits) + controller overhead. */
+    Cycle intrinsic = 0;
+    Cycle columnAccess = 0;
+    Cycle rowAccess = 0;
+    Cycle precharge = 0;
+    Cycle controllerOverhead = 0;
+    /** Auto-precharge tail appended to the bank window in close-page
+     *  mode (0 in open-page mode, so the update is branch-free). */
+    Cycle closePageTail = 0;
+    /** Never book the data bus further ahead than this. */
+    Cycle maxBusLead = 0;
+    Cycle refreshInterval = 0;
+    Cycle refreshCycles = 0;
+    /** Queue age beyond which a scrub read outranks demand traffic. */
+    Cycle scrubDeadline = 0;
+    bool openMode = true;
+
+    static TimingTable
+    build(const DramConfig &c)
+    {
+        const DramTiming &t = c.timing;
+        TimingTable tt;
+        tt.accessLat[kRowHit] = t.columnAccess;
+        tt.accessLat[kRowEmpty] = t.rowAccess + t.columnAccess;
+        tt.accessLat[kRowConflict] =
+            t.precharge + t.rowAccess + t.columnAccess;
+        for (std::uint32_t o = 0; o < kNumRowOutcomes; ++o)
+            tt.bankPrep[o] = tt.accessLat[o] - t.columnAccess;
+        tt.mitigationLat[1] = t.rowAccess + t.precharge;
+        tt.mitigationLat[0] = t.rowAccess + 2 * t.precharge;
+        tt.burst = c.burstCycles();
+        tt.eccOverhead = c.ecc.enabled ? c.ecc.checkOverheadCycles : 0;
+        tt.intrinsic = t.columnAccess + (tt.burst - tt.eccOverhead) +
+                       t.controllerOverhead;
+        tt.columnAccess = t.columnAccess;
+        tt.rowAccess = t.rowAccess;
+        tt.precharge = t.precharge;
+        tt.controllerOverhead = t.controllerOverhead;
+        tt.openMode = c.pageMode == PageMode::Open;
+        tt.closePageTail = tt.openMode ? 0 : t.precharge;
+        // A new transaction's data phase starts after its bank-access
+        // sequence, so booking the bus up to (worst access latency +
+        // two bursts) ahead still lets banks overlap while keeping
+        // scheduling decisions late.
+        tt.maxBusLead = tt.accessLat[kRowConflict] + 2 * tt.burst;
+        tt.refreshInterval = t.refreshInterval;
+        tt.refreshCycles = t.refreshCycles;
+        tt.scrubDeadline =
+            kScrubEscalationIntervals * c.ecc.scrubInterval;
+        return tt;
+    }
+};
+
+} // namespace smtdram
+
+#endif // SMTDRAM_DRAM_TIMING_TABLE_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * TimingTable entries are pure derived data: each must equal the
+ * config expression it replaced, or the precomputation silently
+ * changes golden timing.  BankStateSoA's readyMask is likewise a pure
+ * cache of readyAt; the equivalence is pinned here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dram/bank_state.hh"
+#include "dram/dram_config.hh"
+#include "dram/timing_table.hh"
+
+namespace smtdram
+{
+namespace
+{
+
+TEST(TimingTableTest, AccessLatencyPerRowOutcome)
+{
+    const DramConfig c = DramConfig::ddrSdram(1);
+    const DramTiming &t = c.timing;
+    const TimingTable tt = TimingTable::build(c);
+
+    EXPECT_EQ(tt.accessLat[kRowHit], t.columnAccess);
+    EXPECT_EQ(tt.accessLat[kRowEmpty], t.rowAccess + t.columnAccess);
+    EXPECT_EQ(tt.accessLat[kRowConflict],
+              t.precharge + t.rowAccess + t.columnAccess);
+    for (std::uint32_t o = 0; o < kNumRowOutcomes; ++o)
+        EXPECT_EQ(tt.bankPrep[o], tt.accessLat[o] - t.columnAccess);
+    EXPECT_EQ(tt.bankPrep[kRowHit], 0u);
+}
+
+TEST(TimingTableTest, ScalarFieldsMirrorTheConfig)
+{
+    const DramConfig c = DramConfig::ddrSdram(2);
+    const DramTiming &t = c.timing;
+    const TimingTable tt = TimingTable::build(c);
+
+    EXPECT_EQ(tt.columnAccess, t.columnAccess);
+    EXPECT_EQ(tt.rowAccess, t.rowAccess);
+    EXPECT_EQ(tt.precharge, t.precharge);
+    EXPECT_EQ(tt.controllerOverhead, t.controllerOverhead);
+    EXPECT_EQ(tt.refreshInterval, t.refreshInterval);
+    EXPECT_EQ(tt.refreshCycles, t.refreshCycles);
+    EXPECT_EQ(tt.burst, c.burstCycles());
+    EXPECT_EQ(tt.maxBusLead, tt.accessLat[kRowConflict] + 2 * tt.burst);
+    EXPECT_EQ(tt.mitigationLat[1], t.rowAccess + t.precharge);
+    EXPECT_EQ(tt.mitigationLat[0], t.rowAccess + 2 * t.precharge);
+}
+
+TEST(TimingTableTest, EccOffBurstHasNoOverheadSlice)
+{
+    const DramConfig c = DramConfig::ddrSdram(1);
+    ASSERT_FALSE(c.ecc.enabled);
+    const TimingTable tt = TimingTable::build(c);
+
+    EXPECT_EQ(tt.eccOverhead, 0u);
+    EXPECT_EQ(tt.intrinsic, c.timing.columnAccess + tt.burst +
+                                c.timing.controllerOverhead);
+    EXPECT_EQ(tt.scrubDeadline,
+              kScrubEscalationIntervals * c.ecc.scrubInterval);
+}
+
+TEST(TimingTableTest, EccOnSplitsCheckBitsOutOfIntrinsic)
+{
+    DramConfig c = DramConfig::ddrSdram(1).withEcc();
+    c.validate();
+    const TimingTable tt = TimingTable::build(c);
+
+    EXPECT_EQ(tt.eccOverhead, c.ecc.checkOverheadCycles);
+    EXPECT_EQ(tt.burst, c.burstCycles());
+    // Check bits occupy the bus but are not Intrinsic service time.
+    EXPECT_EQ(tt.intrinsic, c.timing.columnAccess +
+                                (tt.burst - c.ecc.checkOverheadCycles) +
+                                c.timing.controllerOverhead);
+    EXPECT_EQ(tt.scrubDeadline,
+              kScrubEscalationIntervals * c.ecc.scrubInterval);
+}
+
+TEST(TimingTableTest, PageModeSelectsTheClosePageTail)
+{
+    DramConfig open = DramConfig::ddrSdram(1);
+    open.pageMode = PageMode::Open;
+    const TimingTable to = TimingTable::build(open);
+    EXPECT_TRUE(to.openMode);
+    EXPECT_EQ(to.closePageTail, 0u);
+
+    DramConfig close = DramConfig::ddrSdram(1);
+    close.pageMode = PageMode::Close;
+    const TimingTable tc = TimingTable::build(close);
+    EXPECT_FALSE(tc.openMode);
+    EXPECT_EQ(tc.closePageTail, close.timing.precharge);
+}
+
+TEST(BankStateTest, FreshBanksAreReadyIdleAndRowless)
+{
+    BankStateSoA banks(8);
+    EXPECT_EQ(banks.size(), 8u);
+    for (std::uint32_t b = 0; b < banks.size(); ++b) {
+        EXPECT_TRUE(banks.ready(b));
+        EXPECT_TRUE(banks.idle(b));
+        EXPECT_FALSE(banks.rowHit(b, 0));
+    }
+}
+
+TEST(BankStateTest, RowHitTracksOpenRow)
+{
+    BankStateSoA banks(4);
+    banks.openRow[2] = 77;
+    EXPECT_TRUE(banks.rowHit(2, 77));
+    EXPECT_FALSE(banks.rowHit(2, 78));
+    EXPECT_FALSE(banks.idle(2));
+    banks.openRow[2] = BankStateSoA::kNoRow;
+    EXPECT_TRUE(banks.idle(2));
+}
+
+TEST(BankStateTest, MaskMatchesReadyAtAcrossRandomizedRounds)
+{
+    // More than two mask words, so cross-word bookkeeping is covered.
+    constexpr std::uint32_t kBanks = 131;
+    BankStateSoA banks(kBanks);
+
+    // Tiny deterministic LCG; no global RNG state involved.
+    std::uint64_t state = 0x2545f4914f6cdd1dULL;
+    auto next = [&state]() {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+    };
+
+    Cycle now = 0;
+    for (int round = 0; round < 200; ++round) {
+        // Push a random subset of banks busy to a random future cycle.
+        for (int i = 0; i < 16; ++i) {
+            const std::uint32_t b = next() % kBanks;
+            banks.readyAt[b] = now + 1 + next() % 50;
+            banks.markBusy(b);
+        }
+        now += 1 + next() % 40;
+        banks.sync(now);
+        for (std::uint32_t b = 0; b < kBanks; ++b) {
+            EXPECT_EQ(banks.ready(b), banks.readyAt[b] <= now)
+                << "bank " << b << " at cycle " << now;
+        }
+    }
+}
+
+TEST(BankStateTest, SyncIsMonotonicWithinAWindow)
+{
+    BankStateSoA banks(2);
+    banks.readyAt[1] = 10;
+    banks.markBusy(1);
+
+    banks.sync(5);
+    EXPECT_FALSE(banks.ready(1));
+    banks.sync(9);
+    EXPECT_FALSE(banks.ready(1));
+    banks.sync(10);
+    EXPECT_TRUE(banks.ready(1));
+    EXPECT_TRUE(banks.ready(0));
+}
+
+} // namespace
+} // namespace smtdram

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    check_perf_baseline.py BASELINE.json CURRENT.json
+
+Both files are google-benchmark ``--benchmark_out`` documents.  Every
+benchmark named in the baseline must appear in the current run (extra
+benchmarks in the current run are ignored, so adding a bench does not
+require touching the baseline in the same commit).
+
+Machine normalization: absolute nanoseconds are meaningless across CI
+runners, so each run's times are divided by its own ``BM_Calibration``
+row (a fixed pure-integer loop) before comparing.  What is gated is
+therefore "simulator work per unit of this machine's scalar speed" —
+stable across machine generations, sensitive to real code regressions.
+
+A benchmark FAILS if its normalized time exceeds the baseline by more
+than the tolerance (``SMTDRAM_PERF_TOLERANCE``, default 0.15 = +15%).
+Faster-than-baseline rows never fail; they are reported so the
+baseline can be ratcheted down deliberately.
+
+Set ``SMTDRAM_UPDATE_PERF_BASELINE=1`` to rewrite the baseline file
+from the current run instead of comparing (prints the diff it would
+have reported first).
+"""
+
+import json
+import os
+import sys
+
+CALIBRATION = "BM_Calibration"
+
+
+def load_times(path):
+    """name -> real_time in ns (aggregate medians preferred)."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    medians = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("run_name", b["name"])
+        t = float(b["real_time"])
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[name] = t
+        else:
+            # Plain runs: keep the fastest repetition (least noise).
+            times[name] = min(times.get(name, t), t)
+    times.update(medians)
+    return times
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    baseline_path, current_path = sys.argv[1], sys.argv[2]
+    tolerance = float(os.environ.get("SMTDRAM_PERF_TOLERANCE", "0.15"))
+    update = os.environ.get("SMTDRAM_UPDATE_PERF_BASELINE") == "1"
+
+    current = load_times(current_path)
+    if CALIBRATION not in current:
+        print(f"error: {current_path} has no {CALIBRATION} row")
+        return 2
+
+    if not os.path.exists(baseline_path):
+        if update:
+            os.makedirs(os.path.dirname(baseline_path) or ".",
+                        exist_ok=True)
+            with open(current_path) as f, open(baseline_path, "w") as g:
+                g.write(f.read())
+            print(f"baseline seeded from {current_path}")
+            return 0
+        print(f"error: baseline {baseline_path} missing "
+              "(run with SMTDRAM_UPDATE_PERF_BASELINE=1 to seed it)")
+        return 2
+
+    baseline = load_times(baseline_path)
+    if CALIBRATION not in baseline:
+        print(f"error: {baseline_path} has no {CALIBRATION} row")
+        return 2
+
+    cal = current[CALIBRATION] / baseline[CALIBRATION]
+    print(f"calibration: this machine is {cal:.3f}x the baseline "
+          f"machine on {CALIBRATION} (times normalized by this)")
+    print(f"tolerance: +{tolerance:.0%}\n")
+
+    failures = []
+    header = f"{'benchmark':<40} {'base ns':>12} {'now ns':>12} " \
+             f"{'norm ratio':>10}  verdict"
+    print(header)
+    print("-" * len(header))
+    for name in sorted(baseline):
+        if name == CALIBRATION:
+            continue
+        if name not in current:
+            failures.append(name)
+            print(f"{name:<40} {baseline[name]:>12.0f} {'MISSING':>12}")
+            continue
+        ratio = (current[name] / cal) / baseline[name]
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            failures.append(name)
+        elif ratio < 1.0 - tolerance:
+            verdict = "faster (consider ratcheting the baseline)"
+        print(f"{name:<40} {baseline[name]:>12.0f} "
+              f"{current[name]:>12.0f} {ratio:>10.3f}  {verdict}")
+
+    if update:
+        with open(current_path) as f, open(baseline_path, "w") as g:
+            g.write(f.read())
+        print(f"\nbaseline rewritten from {current_path}")
+        return 0
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed past "
+              f"+{tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
