@@ -17,7 +17,7 @@ HierarchyConfig::validate() const
     fatal_if(!isPowerOfTwo(pageBytes), "page size must be a power of 2");
 }
 
-Hierarchy::Hierarchy(const HierarchyConfig &config, DramSystem &dram,
+Hierarchy::Hierarchy(const HierarchyConfig &config, MemoryPort &dram,
                      EventQueue &events, std::uint32_t num_threads)
     : config_(config),
       dram_(dram),
@@ -59,8 +59,8 @@ Hierarchy::access(AccessKind kind, ThreadId tid, Addr vaddr, Cycle now)
 {
     const bool is_fetch = kind == AccessKind::InstFetch;
     Tlb &tlb = is_fetch ? itlb_ : dtlb_;
-    const Cycle tlb_penalty = tlb.lookup(tid, pageTables_.vpageOf(vaddr));
-    const Addr paddr = pageTables_.translate(tid, vaddr);
+    const Cycle tlb_penalty = tlb.lookup(tid, pt_->vpageOf(vaddr));
+    const Addr paddr = pt_->translate(tid, vaddr);
     const Addr line = lineAlign(paddr);
 
     CacheArray &l1 = is_fetch ? l1i_ : l1d_;
@@ -352,15 +352,15 @@ Hierarchy::handleFill(Addr line_addr, Cycle now)
 void
 Hierarchy::preallocate(ThreadId tid, Addr vstart, std::uint64_t bytes)
 {
-    const Addr page = Addr{1} << pageTables_.pageShift();
+    const Addr page = Addr{1} << pt_->pageShift();
     for (Addr v = vstart; v < vstart + bytes; v += page)
-        (void)pageTables_.translate(tid, v);
+        (void)pt_->translate(tid, v);
 }
 
 void
 Hierarchy::prewarmLine(ThreadId tid, Addr vaddr, bool into_l1)
 {
-    const Addr line = lineAlign(pageTables_.translate(tid, vaddr));
+    const Addr line = lineAlign(pt_->translate(tid, vaddr));
     if (!l3_.probe(line))
         l3_.insert(line, false);
     if (!l2_.probe(line))

@@ -33,7 +33,7 @@
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
-#include "dram/dram_system.hh"
+#include "dram/memory_port.hh"
 
 namespace smtdram
 {
@@ -67,7 +67,7 @@ class Hierarchy
     /** Supplies the thread state piggybacked on DRAM requests. */
     using SnapshotProvider = std::function<ThreadSnapshot(ThreadId)>;
 
-    Hierarchy(const HierarchyConfig &config, DramSystem &dram,
+    Hierarchy(const HierarchyConfig &config, MemoryPort &dram,
               EventQueue &events, std::uint32_t num_threads);
 
     /**
@@ -163,6 +163,17 @@ class Hierarchy
 
     const HierarchyConfig &config() const { return config_; }
 
+    /**
+     * Redirect translation to an externally owned page-table set.
+     * The NUMA topology shares one PageTables (with a home-aware
+     * frame allocator) across every core's hierarchy so a migrated
+     * thread keeps its physical pages.  Call before any access.
+     */
+    void setSharedPageTables(PageTables *tables)
+    {
+        pt_ = tables ? tables : &pageTables_;
+    }
+
   private:
     /** One coalescing target waiting on a line. */
     struct Target {
@@ -206,10 +217,12 @@ class Hierarchy
     }
 
     HierarchyConfig config_;
-    DramSystem &dram_;
+    MemoryPort &dram_;
     EventQueue &events_;
 
     PageTables pageTables_;
+    /** Active page tables: the owned set above, or a shared one. */
+    PageTables *pt_ = &pageTables_;
     Tlb itlb_;
     Tlb dtlb_;
 

@@ -25,7 +25,8 @@ PageTables::translate(ThreadId tid, Addr vaddr)
     auto it = pt.find(vpage);
     Addr frame;
     if (it == pt.end()) {
-        frame = nextFrame_++;
+        ++nextFrame_;
+        frame = frameSource_ ? frameSource_(tid) : nextFrame_ - 1;
         pt.emplace(vpage, frame);
     } else {
         frame = it->second;

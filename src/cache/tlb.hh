@@ -14,6 +14,7 @@
 #define SMTDRAM_CACHE_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,18 @@ class PageTables
     std::uint64_t framesAllocated() const { return nextFrame_; }
     std::uint32_t pageShift() const { return pageShift_; }
 
+    /**
+     * Replace the default sequential frame counter with an external
+     * allocator (the NUMA topology's home-aware allocator, which
+     * needs the touching thread to resolve first-touch homes).
+     * Called once at machine construction, before any translation.
+     * The source must hand out globally unique frame numbers.
+     */
+    void setFrameSource(std::function<Addr(ThreadId)> source)
+    {
+        frameSource_ = std::move(source);
+    }
+
   private:
     /** Last translation per thread.  Mappings are allocate-on-first-
      *  touch and never change or disappear, so this one-entry cache
@@ -52,6 +65,7 @@ class PageTables
     std::vector<std::unordered_map<Addr, Addr>> tables_;
     std::vector<LastXlate> last_;
     std::uint64_t nextFrame_ = 0;
+    std::function<Addr(ThreadId)> frameSource_;
 };
 
 /** One TLB (I or D): thread-tagged, fully associative, true LRU. */

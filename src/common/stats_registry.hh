@@ -51,8 +51,13 @@ class StatsRegistry
      *  v2: latency-blame scalars/histograms (dram.blame.*), per-thread
      *  CPI-stack scalars (cpu.t<i>.blame.*), interference matrix
      *  (dram.interference.*), trace.dropped_events, and per-channel
-     *  power-residency/hammer-mitigation series. */
-    static constexpr std::uint32_t kSchemaVersion = 2;
+     *  power-residency/hammer-mitigation series.
+     *  v3: NUMA topology block (numa.* scalars, per-socket and
+     *  per-thread remote-access series, "sockets"/"cores" meta keys),
+     *  emitted only when the machine has a nontrivial topology; a
+     *  trivial or disabled topology emits the identical v2 key set
+     *  under the v3 version stamp. */
+    static constexpr std::uint32_t kSchemaVersion = 3;
     static constexpr const char *kSchemaName = "smtdram-stats";
 
     using ScalarFn = std::function<double()>;

@@ -89,7 +89,37 @@ void
 SmtCore::bindStream(ThreadId tid, InstStream *stream)
 {
     panic_if(tid >= threads_.size(), "thread %u out of range", tid);
-    threads_[tid].stream = stream;
+    ThreadState &t = threads_[tid];
+    t.stream = stream;
+    // Parking must discard a stashed (fetched-but-blocked) op: only a
+    // fetch retry can consume it, a parked slot never fetches, and
+    // quiescence requires the stash to be empty — keeping it would
+    // wedge the migration waiting on this slot forever.
+    if (stream == nullptr)
+        t.stashedOpValid = false;
+}
+
+bool
+SmtCore::quiescent(ThreadId tid) const
+{
+    panic_if(tid >= threads_.size(), "thread %u out of range", tid);
+    const ThreadState &t = threads_[tid];
+    return robOcc_[tid] == 0 && t.fetchQueue.empty() &&
+           !t.stashedOpValid && !t.awaitingBranch;
+}
+
+void
+SmtCore::migrateIn(ThreadId tid, InstStream *stream, Cycle resume_at)
+{
+    panic_if(tid >= threads_.size(), "thread %u out of range", tid);
+    panic_if(!quiescent(tid),
+             "thread %u migrated onto a non-quiescent slot", tid);
+    ThreadState &t = threads_[tid];
+    t.stream = stream;
+    t.fetchResumeAt = std::max(t.fetchResumeAt, resume_at);
+    // The new core's I-cache knows nothing about this thread; drop
+    // the line-reuse shortcut so the first fetch probes for real.
+    t.lastFetchLine = kAddrInvalid;
 }
 
 ThreadSnapshot

@@ -57,8 +57,26 @@ class SmtCore
   public:
     SmtCore(const CoreConfig &config, Hierarchy &hierarchy);
 
-    /** Attach thread @p tid's instruction source (not owned). */
+    /** Attach thread @p tid's instruction source (not owned).
+     *  nullptr parks the slot: fetch stops, in-flight work drains. */
     void bindStream(ThreadId tid, InstStream *stream);
+
+    /**
+     * True when slot @p tid holds no architectural state worth
+     * moving: empty ROB and fetch queue, no stashed op, no
+     * unresolved branch.  A parked thread (stream unbound) drains to
+     * this state in bounded time; the OS migration engine waits for
+     * it before rebinding the thread on another core.
+     */
+    bool quiescent(ThreadId tid) const;
+
+    /**
+     * Land a migrated thread on this core: bind @p stream to slot
+     * @p tid and hold fetch until @p resume_at (the migration cost —
+     * the pipeline-refill the move costs on a real machine).  The
+     * slot must be quiescent.
+     */
+    void migrateIn(ThreadId tid, InstStream *stream, Cycle resume_at);
 
     /** Simulate one cycle at time @p now. */
     void cycle(Cycle now);

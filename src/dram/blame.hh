@@ -57,11 +57,16 @@ enum class BlameComponent : std::uint8_t
     PowerExit,
     /** Bank held by a rowhammer neighbour-refresh mitigation. */
     HammerMitigation,
+    /** Cycles spent crossing the socket interconnect (request hop
+     *  plus, accounted at delivery, the reply hop) because the line's
+     *  home memory is on another socket.  Always zero on a
+     *  single-socket machine. */
+    RemoteAccess,
     /** Unavoidable CAS + data burst + controller overhead. */
     Intrinsic,
 };
 
-inline constexpr std::size_t kNumBlameComponents = 11;
+inline constexpr std::size_t kNumBlameComponents = 12;
 
 /** Stable lower-case identifier used in stats JSON, CSVs and dumps. */
 inline const char *
@@ -78,6 +83,7 @@ blameComponentName(BlameComponent c)
       case BlameComponent::EccOverhead: return "ecc_overhead";
       case BlameComponent::PowerExit: return "power_exit";
       case BlameComponent::HammerMitigation: return "hammer_mitigation";
+      case BlameComponent::RemoteAccess: return "remote_access";
       case BlameComponent::Intrinsic: return "intrinsic";
     }
     return "?";

@@ -12,13 +12,14 @@ namespace smtdram
 /** Cadence of the O(outstanding) checker age scan. */
 static constexpr Cycle kAgeCheckPeriod = 4096;
 
-DramSystem::DramSystem(const DramConfig &config, SchedulerKind scheduler)
+DramSystem::DramSystem(const DramConfig &config, SchedulerKind scheduler,
+                       std::uint32_t channel_base)
     : config_(config), mapping_(config)
 {
     config_.validate();
     controllers_.reserve(config_.logicalChannels());
     for (std::uint32_t c = 0; c < config_.logicalChannels(); ++c)
-        controllers_.emplace_back(config_, scheduler, c);
+        controllers_.emplace_back(config_, scheduler, channel_base + c);
     if (config_.checkerEnabled) {
         checker_ = std::make_unique<ConservationChecker>(
             config_.checkerMaxAge,
@@ -119,6 +120,14 @@ DramSystem::enqueueRead(Addr addr, ThreadId thread,
                         const ThreadSnapshot &snap, Cycle now,
                         bool critical)
 {
+    return enqueueRead(addr, thread, snap, now, critical, 0);
+}
+
+std::uint64_t
+DramSystem::enqueueRead(Addr addr, ThreadId thread,
+                        const ThreadSnapshot &snap, Cycle now,
+                        bool critical, Cycle remote_until)
+{
     DramRequest req;
     req.id = nextId_++;
     req.op = MemOp::Read;
@@ -128,6 +137,10 @@ DramSystem::enqueueRead(Addr addr, ThreadId thread,
     req.snap = snap;
     req.coord = mapping_.map(addr);
     req.critical = critical;
+    if (remote_until > now) {
+        req.remoteUntil = remote_until;
+        req.notBefore = remote_until;
+    }
     if (thread != kThreadNone) {
         if (thread >= perThreadOutstanding_.size())
             perThreadOutstanding_.resize(thread + 1, 0);
@@ -143,6 +156,12 @@ DramSystem::enqueueRead(Addr addr, ThreadId thread,
 std::uint64_t
 DramSystem::enqueueWrite(Addr addr, Cycle now)
 {
+    return enqueueWrite(addr, now, 0);
+}
+
+std::uint64_t
+DramSystem::enqueueWrite(Addr addr, Cycle now, Cycle remote_until)
+{
     DramRequest req;
     req.id = nextId_++;
     req.op = MemOp::Write;
@@ -150,6 +169,10 @@ DramSystem::enqueueWrite(Addr addr, Cycle now)
     req.thread = kThreadNone;
     req.arrival = now;
     req.coord = mapping_.map(addr);
+    if (remote_until > now) {
+        req.remoteUntil = remote_until;
+        req.notBefore = remote_until;
+    }
     if (checker_)
         checker_->onEnqueue(req, now);
     controllers_[req.coord.channel].enqueue(req);

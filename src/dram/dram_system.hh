@@ -22,21 +22,29 @@
 #include "dram/dram_config.hh"
 #include "dram/dram_types.hh"
 #include "dram/memory_controller.hh"
+#include "dram/memory_port.hh"
 #include "dram/scheduler.hh"
 
 namespace smtdram
 {
 
 /** Multi-channel DRAM system facade. */
-class DramSystem
+class DramSystem : public MemoryPort
 {
   public:
-    using ReadCallback = std::function<void(const DramRequest &)>;
+    using ReadCallback = MemoryPort::ReadCallback;
 
-    DramSystem(const DramConfig &config, SchedulerKind scheduler);
+    /**
+     * @param channel_base global index of this system's first channel.
+     *        0 for the single-socket machine; socket s of a NUMA
+     *        topology passes s * logicalChannels() so trace pids,
+     *        dump labels and fault seeds stay distinct per socket.
+     */
+    DramSystem(const DramConfig &config, SchedulerKind scheduler,
+               std::uint32_t channel_base = 0);
 
     /** True if the target channel can queue another request. */
-    bool canAccept(Addr addr, MemOp op) const;
+    bool canAccept(Addr addr, MemOp op) const override;
 
     /**
      * Queue a read for @p addr on behalf of @p thread.
@@ -44,10 +52,23 @@ class DramSystem
      */
     std::uint64_t enqueueRead(Addr addr, ThreadId thread,
                               const ThreadSnapshot &snap, Cycle now,
-                              bool critical = true);
+                              bool critical = true) override;
+
+    /**
+     * Remote-aware overload used by the topology router: the request
+     * arrives now (latency accrues from the issuing core's clock) but
+     * may not issue before @p remote_until — the cycles in between are
+     * blamed on BlameComponent::RemoteAccess.
+     */
+    std::uint64_t enqueueRead(Addr addr, ThreadId thread,
+                              const ThreadSnapshot &snap, Cycle now,
+                              bool critical, Cycle remote_until);
 
     /** Queue a (writeback) write; completes silently. */
-    std::uint64_t enqueueWrite(Addr addr, Cycle now);
+    std::uint64_t enqueueWrite(Addr addr, Cycle now) override;
+
+    /** Remote-aware overload (see the read counterpart). */
+    std::uint64_t enqueueWrite(Addr addr, Cycle now, Cycle remote_until);
 
     /** Advance all channels to cycle @p now; fires read callbacks. */
     void tick(Cycle now);
@@ -82,7 +103,11 @@ class DramSystem
     Cycle nextEventAt(Cycle now) const;
 
     /** Called once per completed read, in completion order. */
-    void setReadCallback(ReadCallback cb) { readCallback_ = std::move(cb); }
+    void
+    setReadCallback(ReadCallback cb) override
+    {
+        readCallback_ = std::move(cb);
+    }
 
     bool busy() const;
 

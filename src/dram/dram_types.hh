@@ -56,9 +56,13 @@ struct DramRequest {
     /**
      * Earliest cycle the controller may issue this request; normally
      * 0 (immediately), pushed out by fault injection (enqueue delay,
-     * retry backoff).
+     * retry backoff) or by the socket interconnect transit.
      */
     Cycle notBefore = 0;
+    /** Cycle the request reaches its home socket's controller after
+     *  crossing the interconnect; 0 for local traffic.  Cycles in
+     *  [arrival, remoteUntil) are blamed on RemoteAccess. */
+    Cycle remoteUntil = 0;
     /** Transient-read-error retries already taken (fault injection). */
     std::uint32_t retries = 0;
     /** True for ECC patrol-scrub reads (background maintenance

@@ -177,6 +177,19 @@ MemoryController::accountWaitUntil(DramRequest &r, Cycle until,
         return;
     Cycle from = r.blameUpTo;
     r.blameUpTo = until;
+    // The slice a remote request spends crossing the socket
+    // interconnect is its own component: those cycles are a property
+    // of placement, not of anything this controller did.  It must be
+    // carved out first — the router encodes the arrival-at-home time
+    // in notBefore too, so the fault-retry carve-out below would
+    // otherwise swallow it.
+    if (r.remoteUntil > from) {
+        const Cycle remote_end = std::min(r.remoteUntil, until);
+        r.blame.add(BlameComponent::RemoteAccess, remote_end - from);
+        from = remote_end;
+        if (from >= until)
+            return;
+    }
     // The slice a request spends embargoed by its own notBefore
     // (retry backoff, injected enqueue delay) is fault-retry: those
     // cycles are nobody else's occupancy even when a busy-resource

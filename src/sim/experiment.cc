@@ -2,12 +2,57 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "topology/numa_system.hh"
 #include "workload/hammer_workload.hh"
 
 namespace smtdram
 {
+
+namespace
+{
+
+/**
+ * SMTDRAM_TOPOLOGY=1 routes every topology-less config through a
+ * trivial 1x1 NumaSystem.  Read once per process, same rationale as
+ * the SMTDRAM_KERNEL override: whole harnesses flip for a CI leg
+ * without plumbing a flag through every construction site, and the
+ * trivial topology is proven byte-identical so results never change.
+ */
+bool
+topologyForced()
+{
+    static const bool forced = [] {
+        const char *env = std::getenv("SMTDRAM_TOPOLOGY");
+        return env && !std::strcmp(env, "1");
+    }();
+    return forced;
+}
+
+} // namespace
+
+RunResult
+runSystem(const SystemConfig &config,
+          const std::vector<AppProfile> &apps, std::uint64_t seed,
+          std::uint64_t measure_insts, std::uint64_t warmup_insts)
+{
+    if (config.topology.active()) {
+        NumaSystem system(config, apps, seed);
+        return system.run(measure_insts, warmup_insts);
+    }
+    if (topologyForced()) {
+        SystemConfig trivial = config;
+        trivial.topology = TopologyConfig{};
+        trivial.topology.enabled = true;
+        NumaSystem system(trivial, apps, seed);
+        return system.run(measure_insts, warmup_insts);
+    }
+    SmtSystem system(config, apps, seed);
+    return system.run(measure_insts, warmup_insts);
+}
 
 std::vector<AppProfile>
 profilesForMix(const WorkloadMix &mix)
@@ -117,6 +162,36 @@ configSignature(const SystemConfig &config)
             sig += hbuf;
         }
     }
+    const TopologyConfig &t = config.topology;
+    if (t.nontrivial()) {
+        // Only a *nontrivial* topology gets a suffix: a disabled or
+        // 1x1 topology is byte-identical to the legacy machine, so it
+        // must share the legacy signature (and its cached baselines).
+        char tbuf[96];
+        std::snprintf(tbuf, sizeof(tbuf),
+                      "-numa%ux%uw%u-%s-%s-hop%lluq%llu", t.sockets,
+                      t.coresPerSocket, t.smtWays,
+                      placementPolicyName(t.placement),
+                      homePolicyName(t.home),
+                      (unsigned long long)t.hopLatency,
+                      (unsigned long long)t.linkOccupancy);
+        sig += tbuf;
+        if (t.placement == PlacementPolicy::Migrate &&
+            t.migrationEpoch > 0) {
+            std::snprintf(tbuf, sizeof(tbuf), "-mig%lluc%llu",
+                          (unsigned long long)t.migrationEpoch,
+                          (unsigned long long)t.migrationCost);
+            sig += tbuf;
+        }
+        if (!t.pinned.empty()) {
+            sig += "-pin";
+            for (size_t i = 0; i < t.pinned.size(); ++i) {
+                if (i)
+                    sig += ",";
+                sig += std::to_string(t.pinned[i]);
+            }
+        }
+    }
     return sig;
 }
 
@@ -129,11 +204,14 @@ simulateAloneIpc(const std::string &app, const SystemConfig &config,
     // Baseline runs share the mix's config but must not clobber its
     // observability outputs (same file paths) — run them dark.
     alone.observe = ObservabilityConfig{};
+    // A pin map is sized for the mix, not for one thread; the alone
+    // run places its single thread by policy instead.
+    alone.topology.pinned.clear();
     const AppProfile &profile =
         isHammerProfileName(app) ? hammerProfile(app) : specProfile(app);
-    SmtSystem system(alone, {profile}, params.seed);
-    const RunResult r =
-        system.run(params.measureInsts, params.warmupInsts);
+    const RunResult r = runSystem(alone, {profile}, params.seed,
+                                  params.measureInsts,
+                                  params.warmupInsts);
     return r.ipc.at(0);
 }
 
@@ -146,9 +224,9 @@ simulateMixRun(const SystemConfig &config, const WorkloadMix &mix,
              config.core.numThreads, mix.name.c_str(),
              mix.apps.size());
 
-    SmtSystem system(config, profilesForMix(mix), params.seed);
     MixRun out;
-    out.run = system.run(params.measureInsts, params.warmupInsts);
+    out.run = runSystem(config, profilesForMix(mix), params.seed,
+                        params.measureInsts, params.warmupInsts);
     out.correctedErrors = out.run.dram.correctedErrors;
     out.uncorrectableErrors = out.run.dram.uncorrectableErrors;
     out.scrubReads = out.run.dram.scrubReads;
@@ -225,8 +303,9 @@ measureCpiBreakdown(const std::string &app,
         config.hierarchy.l3.infinite = inf_l3;
         if (!inf_l1 && !inf_l2 && !inf_l3)
             config.observe = observe;
-        SmtSystem system(config, {specProfile(app)}, seed);
-        const RunResult r = system.run(measure_insts, warmup_insts);
+        const RunResult r = runSystem(config, {specProfile(app)},
+                                      seed, measure_insts,
+                                      warmup_insts);
         return 1.0 / r.ipc.at(0);
     };
 

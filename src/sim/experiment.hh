@@ -62,6 +62,20 @@ struct ExperimentParams {
 };
 
 /**
+ * Run one simulation of @p apps on @p config, dispatching to the
+ * multi-socket NumaSystem when the config carries an active topology
+ * and to the legacy SmtSystem otherwise.  The SMTDRAM_TOPOLOGY
+ * environment variable ("1", read once per process) forces a trivial
+ * 1x1 topology onto topology-less configs — the CI identity leg that
+ * proves NumaSystem reproduces SmtSystem byte-for-byte on every
+ * golden figure.  Pure: no caching, safe to call from any thread.
+ */
+RunResult runSystem(const SystemConfig &config,
+                    const std::vector<AppProfile> &apps,
+                    std::uint64_t seed, std::uint64_t measure_insts,
+                    std::uint64_t warmup_insts);
+
+/**
  * Run @p app alone (one hardware thread) on @p config's memory
  * system and return its IPC.  Observability outputs are disabled so
  * baseline runs never clobber a mix run's trace/stats files.  Pure:

@@ -492,7 +492,7 @@ SmtSystem::sampleEpoch()
             "blame_refresh_stall", "blame_scrub",
             "blame_fault_retry",   "blame_ecc_overhead",
             "blame_power_exit",    "blame_hammer_mitigation",
-            "blame_intrinsic"};
+            "blame_remote_access", "blame_intrinsic"};
         for (std::uint32_t c = 0; c < dram_->channels(); ++c) {
             const int pid = tracePidChannel(c);
             const ControllerStats &s = dram_->channelStats(c);

@@ -19,9 +19,11 @@
 #include "common/stats_registry.hh"
 #include "common/trace_event.hh"
 #include "cpu/smt_core.hh"
+#include "dram/dram_system.hh"
 #include "dram/power_model.hh"
 #include "dram/row_hammer.hh"
 #include "sim/system_config.hh"
+#include "topology/numa_stats.hh"
 #include "workload/spec2000.hh"
 #include "workload/synthetic_stream.hh"
 
@@ -58,6 +60,10 @@ struct RunResult {
     /** Per-thread DRAM bandwidth share, in percent (one sample per
      *  thread); p-queries answer "how skewed was service?". */
     LogHistogram bandwidthShareHist;
+
+    /** NUMA-layer counters; all zeros on the legacy single-socket
+     *  machine and on a trivial 1x1 topology. */
+    NumaStats numa;
 };
 
 /** One simulated machine executing a set of application profiles. */

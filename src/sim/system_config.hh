@@ -14,6 +14,7 @@
 #include "cpu/cpu_config.hh"
 #include "dram/dram_config.hh"
 #include "dram/scheduler.hh"
+#include "topology/topology_config.hh"
 
 namespace smtdram
 {
@@ -80,6 +81,15 @@ struct SystemConfig {
      * CI leg without plumbing a flag through every call site.
      */
     KernelMode kernel = KernelMode::PerCycle;
+    /**
+     * Multi-socket NUMA topology and OS placement.  Disabled by
+     * default (the classic single-socket machine); a trivial enabled
+     * 1x1 topology is byte-identical to the legacy path.  The
+     * SMTDRAM_TOPOLOGY environment variable ("1"), read once per
+     * process, forces the trivial topology on — the CI identity leg
+     * that proves the equivalence on every golden figure.
+     */
+    TopologyConfig topology;
     /**
      * Forward-progress watchdog: every thread must commit something
      * within this many cycles or the run aborts with a state dump

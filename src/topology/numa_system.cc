@@ -1,0 +1,1304 @@
+#include "topology/numa_system.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/watchdog.hh"
+#include "sim/experiment.hh"
+
+namespace smtdram
+{
+
+namespace
+{
+
+/** Same process-wide kernel override as SmtSystem (see there). */
+KernelMode
+kernelMode(KernelMode configured)
+{
+    static const char *env = std::getenv("SMTDRAM_KERNEL");
+    if (!env || !*env)
+        return configured;
+    if (!std::strcmp(env, "event") || !std::strcmp(env, "event-driven"))
+        return KernelMode::EventDriven;
+    if (!std::strcmp(env, "cycle") || !std::strcmp(env, "per-cycle"))
+        return KernelMode::PerCycle;
+    fatal_if(true, "SMTDRAM_KERNEL must be 'cycle' or 'event', "
+                   "got '%s'", env);
+    return configured;
+}
+
+/** Remote reads a thread must accrue per epoch before the OS
+ *  scheduler considers moving it (noise floor / hysteresis). */
+constexpr std::uint64_t kMigrateThreshold = 16;
+
+} // namespace
+
+NumaSystem::NumaSystem(const SystemConfig &config,
+                       const std::vector<AppProfile> &apps,
+                       std::uint64_t seed)
+    : config_(config)
+{
+    config_.kernel = kernelMode(config_.kernel);
+    config_.topology.enabled = true;
+    const std::uint32_t n = config_.core.numThreads;
+    fatal_if(apps.size() != n,
+             "%zu application profiles for %u hardware threads",
+             apps.size(), n);
+    const TopologyConfig &topo = config_.topology;
+    topo.validate(n);
+    const std::uint32_t cores = topo.totalCores();
+
+    // Shared translation machinery: one page-table set for the whole
+    // machine, frames handed out by the home-aware allocator.  On a
+    // 1x1 topology the allocator degenerates to the legacy sequential
+    // counter, frame for frame.
+    pageTables_ = std::make_unique<PageTables>(
+        config_.hierarchy.pageBytes, n);
+    alloc_ = std::make_unique<NumaFrameAllocator>(
+        topo, pageTables_->pageShift());
+
+    threadCore_ = computePlacement(topo, apps);
+    pageTables_->setFrameSource([this](ThreadId tid) {
+        return alloc_->allocate(threadCore_[tid] /
+                                config_.topology.coresPerSocket);
+    });
+
+    drams_.reserve(topo.sockets);
+    std::vector<DramSystem *> dram_ptrs;
+    for (std::uint32_t s = 0; s < topo.sockets; ++s) {
+        drams_.push_back(std::make_unique<DramSystem>(
+            config_.dram, config_.scheduler,
+            s * config_.dram.logicalChannels()));
+        dram_ptrs.push_back(drams_.back().get());
+    }
+    router_ = std::make_unique<SocketRouter>(topo, dram_ptrs, *alloc_,
+                                             n);
+
+    ports_.reserve(cores);
+    hierarchies_.reserve(cores);
+    cores_.reserve(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        ports_.push_back(std::make_unique<SocketPort>(*router_, c));
+        hierarchies_.push_back(std::make_unique<Hierarchy>(
+            config_.hierarchy, *ports_.back(), events_, n));
+        hierarchies_.back()->setSharedPageTables(pageTables_.get());
+        cores_.push_back(std::make_unique<SmtCore>(
+            config_.core, *hierarchies_.back()));
+    }
+
+    streams_.reserve(apps.size());
+    for (size_t i = 0; i < apps.size(); ++i) {
+        streams_.push_back(std::make_unique<SyntheticStream>(
+            apps[i], seed + i * 0x1000'0001ULL));
+        cores_[threadCore_[i]]->bindStream(static_cast<ThreadId>(i),
+                                           streams_.back().get());
+    }
+
+    remoteBase_.assign(n, 0);
+    toSocketBase_.assign(n,
+                         std::vector<std::uint64_t>(topo.sockets, 0));
+
+    if (config_.observe.traceEnabled()) {
+        tracer_ = std::make_unique<Tracer>(config_.observe.tracePath);
+        for (auto &d : drams_)
+            d->setTracer(tracer_.get());
+        for (auto &c : cores_)
+            c->setTracer(tracer_.get());
+    }
+    if (config_.observe.statsEnabled()) {
+        registry_ = std::make_unique<StatsRegistry>();
+        registerStats();
+    }
+    if (config_.observe.any()) {
+        panicHook_ = setPanicHook([this] { exportObservability(); });
+    }
+
+    prewarmCaches(apps);
+}
+
+NumaSystem::~NumaSystem()
+{
+    clearPanicHook(panicHook_);
+    if (tracer_) {
+        for (auto &d : drams_)
+            d->setTracer(nullptr);
+        for (auto &c : cores_)
+            c->setTracer(nullptr);
+    }
+}
+
+ControllerStats
+NumaSystem::aggDramStats() const
+{
+    ControllerStats agg;
+    Distribution lat, queueing;
+    for (const auto &d : drams_) {
+        const ControllerStats s = d->aggregateStats();
+        agg.reads += s.reads;
+        agg.writes += s.writes;
+        agg.rowHits += s.rowHits;
+        agg.rowEmpty += s.rowEmpty;
+        agg.rowConflicts += s.rowConflicts;
+        agg.busBusyCycles += s.busBusyCycles;
+        agg.refreshes += s.refreshes;
+        agg.refreshBlockedCycles += s.refreshBlockedCycles;
+        agg.readRetries += s.readRetries;
+        agg.retriesExhausted += s.retriesExhausted;
+        agg.scrubReads += s.scrubReads;
+        agg.correctedErrors += s.correctedErrors;
+        agg.uncorrectableErrors += s.uncorrectableErrors;
+        agg.eccCheckCycles += s.eccCheckCycles;
+        agg.readLatencyHist.merge(s.readLatencyHist);
+        agg.queueDepthHist.merge(s.queueDepthHist);
+        agg.rowHitRunHist.merge(s.rowHitRunHist);
+        agg.blameTotals.merge(s.blameTotals);
+        for (std::size_t c = 0; c < kNumBlameComponents; ++c)
+            agg.blameHist[c].merge(s.blameHist[c]);
+        if (agg.perThreadBlame.size() < s.perThreadBlame.size())
+            agg.perThreadBlame.resize(s.perThreadBlame.size());
+        for (std::size_t t = 0; t < s.perThreadBlame.size(); ++t)
+            agg.perThreadBlame[t].merge(s.perThreadBlame[t]);
+        agg.interference.merge(s.interference);
+        if (s.readLatency.count() > 0) {
+            lat = mergeDistributions(lat, s.readLatency);
+            queueing = mergeDistributions(queueing, s.readQueueing);
+        }
+    }
+    agg.readLatency = lat;
+    agg.readQueueing = queueing;
+    // Interconnect queue waits join the who-stalled-whom picture; on
+    // a trivial topology the link matrix is empty and this is a no-op.
+    agg.interference.merge(router_->linkInterference());
+    return agg;
+}
+
+PowerStats
+NumaSystem::aggPowerStats() const
+{
+    PowerStats agg;
+    for (const auto &d : drams_) {
+        const PowerStats p = d->aggregatePowerStats();
+        agg.backgroundEnergy += p.backgroundEnergy;
+        agg.activateEnergy += p.activateEnergy;
+        agg.readEnergy += p.readEnergy;
+        agg.writeEnergy += p.writeEnergy;
+        agg.refreshEnergy += p.refreshEnergy;
+        agg.scrubEnergy += p.scrubEnergy;
+        agg.mitigationEnergy += p.mitigationEnergy;
+        agg.totalEnergy += p.totalEnergy;
+        agg.powerdownEntries += p.powerdownEntries;
+        agg.powerdownExits += p.powerdownExits;
+        agg.selfRefreshEntries += p.selfRefreshEntries;
+        agg.selfRefreshExits += p.selfRefreshExits;
+        agg.exitPenaltyCycles += p.exitPenaltyCycles;
+        agg.refreshesSuppressed += p.refreshesSuppressed;
+        agg.entryPrecharges += p.entryPrecharges;
+        agg.activeCycles += p.activeCycles;
+        agg.powerdownFastCycles += p.powerdownFastCycles;
+        agg.powerdownSlowCycles += p.powerdownSlowCycles;
+        agg.selfRefreshCycles += p.selfRefreshCycles;
+        agg.lowPowerSpanHist.merge(p.lowPowerSpanHist);
+    }
+    return agg;
+}
+
+HammerStats
+NumaSystem::aggHammerStats() const
+{
+    HammerStats agg;
+    for (const auto &d : drams_) {
+        const HammerStats h = d->aggregateHammerStats();
+        agg.activations += h.activations;
+        agg.thresholdCrossings += h.thresholdCrossings;
+        agg.victimFlips += h.victimFlips;
+        agg.victimCorrected += h.victimCorrected;
+        agg.victimUncorrectable += h.victimUncorrectable;
+        agg.silentCorruptions += h.silentCorruptions;
+        agg.flipsScrubbed += h.flipsScrubbed;
+        agg.windowResets += h.windowResets;
+        agg.mitigationsRequested += h.mitigationsRequested;
+        agg.mitigationsIssued += h.mitigationsIssued;
+        agg.mitigationCycles += h.mitigationCycles;
+        agg.trackerEvictions += h.trackerEvictions;
+    }
+    return agg;
+}
+
+std::uint32_t
+NumaSystem::totalChannels() const
+{
+    return config_.topology.sockets * drams_[0]->channels();
+}
+
+const DramSystem &
+NumaSystem::dramOfChannel(std::uint32_t global,
+                          std::uint32_t &local) const
+{
+    const std::uint32_t per = drams_[0]->channels();
+    local = global % per;
+    return *drams_[global / per];
+}
+
+std::uint64_t
+NumaSystem::committedOf(ThreadId tid) const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cores_)
+        total += c->perf(tid).committedInsts;
+    return total;
+}
+
+std::uint64_t
+NumaSystem::grandCommitted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cores_)
+        total += c->totalCommittedInsts();
+    return total;
+}
+
+bool
+NumaSystem::dramBusy() const
+{
+    for (const auto &d : drams_) {
+        if (d->busy())
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+NumaSystem::dramOutstanding() const
+{
+    std::size_t total = 0;
+    for (const auto &d : drams_)
+        total += d->outstandingRequests();
+    return total;
+}
+
+std::uint32_t
+NumaSystem::distinctThreadsOutstanding() const
+{
+    const std::uint32_t n = config_.core.numThreads;
+    std::uint32_t distinct = 0;
+    for (std::uint32_t t = 0; t < n; ++t) {
+        std::uint32_t outstanding = 0;
+        for (const auto &d : drams_) {
+            const auto &per = d->outstandingPerThread();
+            if (t < per.size())
+                outstanding += per[t];
+        }
+        if (outstanding > 0)
+            ++distinct;
+    }
+    return distinct;
+}
+
+std::vector<std::uint64_t>
+NumaSystem::perThreadReads() const
+{
+    std::vector<std::uint64_t> total(config_.core.numThreads, 0);
+    for (const auto &d : drams_) {
+        const auto &per = d->perThreadReads();
+        for (std::size_t t = 0;
+             t < per.size() && t < total.size(); ++t)
+            total[t] += per[t];
+    }
+    return total;
+}
+
+void
+NumaSystem::registerStats()
+{
+    StatsRegistry &r = *registry_;
+    r.setMeta("config", configSignature(config_));
+    r.setMeta("threads", std::to_string(config_.core.numThreads));
+    r.setMeta("channels", std::to_string(totalChannels()));
+
+    r.registerScalar("dram.reads", [this] {
+        return static_cast<double>(aggDramStats().reads);
+    });
+    r.registerScalar("dram.writes", [this] {
+        return static_cast<double>(aggDramStats().writes);
+    });
+    r.registerScalar("dram.row_hits", [this] {
+        return static_cast<double>(aggDramStats().rowHits);
+    });
+    r.registerScalar("dram.row_conflicts", [this] {
+        return static_cast<double>(aggDramStats().rowConflicts);
+    });
+    r.registerScalar("dram.row_miss_rate", [this] {
+        return aggDramStats().rowMissRate();
+    });
+    r.registerScalar("dram.refreshes", [this] {
+        return static_cast<double>(aggDramStats().refreshes);
+    });
+    r.registerScalar("dram.outstanding", [this] {
+        return static_cast<double>(dramOutstanding());
+    });
+    for (std::uint32_t c = 0; c < totalChannels(); ++c) {
+        r.registerScalar(
+            "dram.ch" + std::to_string(c) + ".queued_reads",
+            [this, c] {
+                std::uint32_t lc;
+                const DramSystem &d = dramOfChannel(c, lc);
+                return static_cast<double>(d.channelQueuedReads(lc));
+            });
+        r.registerScalar(
+            "dram.ch" + std::to_string(c) + ".reads", [this, c] {
+                std::uint32_t lc;
+                const DramSystem &d = dramOfChannel(c, lc);
+                return static_cast<double>(d.channelStats(lc).reads);
+            });
+    }
+
+    r.registerScalar("dram.power.total_energy_nj", [this] {
+        return aggPowerStats().totalEnergy;
+    });
+    r.registerScalar("dram.power.background_energy_nj", [this] {
+        return aggPowerStats().backgroundEnergy;
+    });
+    r.registerScalar("dram.power.activate_energy_nj", [this] {
+        return aggPowerStats().activateEnergy;
+    });
+    r.registerScalar("dram.power.read_energy_nj", [this] {
+        return aggPowerStats().readEnergy;
+    });
+    r.registerScalar("dram.power.write_energy_nj", [this] {
+        return aggPowerStats().writeEnergy;
+    });
+    r.registerScalar("dram.power.refresh_energy_nj", [this] {
+        return aggPowerStats().refreshEnergy;
+    });
+    r.registerScalar("dram.power.scrub_energy_nj", [this] {
+        return aggPowerStats().scrubEnergy;
+    });
+    r.registerScalar("dram.power.avg_power_mw", [this] {
+        return aggPowerStats().averagePowerMw(
+            config_.dram.timing.cpuMhz, now_ - statsResetAt_);
+    });
+    r.registerScalar("dram.power.exit_penalty_cycles", [this] {
+        return static_cast<double>(aggPowerStats().exitPenaltyCycles);
+    });
+    r.registerScalar("dram.power.refreshes_suppressed", [this] {
+        return static_cast<double>(
+            aggPowerStats().refreshesSuppressed);
+    });
+    r.registerScalar("dram.power.powerdown_entries", [this] {
+        return static_cast<double>(aggPowerStats().powerdownEntries);
+    });
+    r.registerScalar("dram.power.self_refresh_entries", [this] {
+        return static_cast<double>(
+            aggPowerStats().selfRefreshEntries);
+    });
+    r.registerScalar("dram.power.active_cycles", [this] {
+        return static_cast<double>(aggPowerStats().activeCycles);
+    });
+    r.registerScalar("dram.power.powerdown_fast_cycles", [this] {
+        return static_cast<double>(
+            aggPowerStats().powerdownFastCycles);
+    });
+    r.registerScalar("dram.power.powerdown_slow_cycles", [this] {
+        return static_cast<double>(
+            aggPowerStats().powerdownSlowCycles);
+    });
+    r.registerScalar("dram.power.self_refresh_cycles", [this] {
+        return static_cast<double>(aggPowerStats().selfRefreshCycles);
+    });
+    r.registerHistogram("dram.power.low_power_span", [this] {
+        return aggPowerStats().lowPowerSpanHist;
+    });
+    for (std::uint32_t c = 0; c < totalChannels(); ++c) {
+        r.registerScalar(
+            "dram.ch" + std::to_string(c) + ".energy_nj", [this, c] {
+                std::uint32_t lc;
+                const DramSystem &d = dramOfChannel(c, lc);
+                return d.channelPowerStats(lc).totalEnergy;
+            });
+        for (std::uint32_t k = 0; k < drams_[0]->powerRanks(); ++k) {
+            r.registerScalar("dram.ch" + std::to_string(c) + ".rank" +
+                                 std::to_string(k) + ".energy_nj",
+                             [this, c, k] {
+                                 std::uint32_t lc;
+                                 const DramSystem &d =
+                                     dramOfChannel(c, lc);
+                                 return d.rankEnergy(lc, k);
+                             });
+        }
+    }
+    r.registerScalar("dram.power.mitigation_energy_nj", [this] {
+        return aggPowerStats().mitigationEnergy;
+    });
+
+    for (std::uint32_t c = 0; c < totalChannels(); ++c) {
+        const std::string p = "dram.ch" + std::to_string(c) +
+                              ".faults.";
+        r.registerScalar(p + "bus_stalls", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelFaultStats(lc).busStalls);
+        });
+        r.registerScalar(p + "bus_stall_cycles", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelFaultStats(lc).busStallCycles);
+        });
+        r.registerScalar(p + "read_errors", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelFaultStats(lc).readErrors);
+        });
+        r.registerScalar(p + "enqueue_delays", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelFaultStats(lc).enqueueDelays);
+        });
+        r.registerScalar(p + "enqueue_delay_cycles", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelFaultStats(lc).enqueueDelayCycles);
+        });
+        r.registerScalar(p + "ecc_single_bit", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelFaultStats(lc).eccSingleBit);
+        });
+        r.registerScalar(p + "ecc_multi_bit", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelFaultStats(lc).eccMultiBit);
+        });
+    }
+
+    r.registerScalar("dram.hammer.activations", [this] {
+        return static_cast<double>(aggHammerStats().activations);
+    });
+    r.registerScalar("dram.hammer.threshold_crossings", [this] {
+        return static_cast<double>(
+            aggHammerStats().thresholdCrossings);
+    });
+    r.registerScalar("dram.hammer.victim_flips", [this] {
+        return static_cast<double>(aggHammerStats().victimFlips);
+    });
+    r.registerScalar("dram.hammer.victim_corrected", [this] {
+        return static_cast<double>(aggHammerStats().victimCorrected);
+    });
+    r.registerScalar("dram.hammer.victim_uncorrectable", [this] {
+        return static_cast<double>(
+            aggHammerStats().victimUncorrectable);
+    });
+    r.registerScalar("dram.hammer.silent_corruptions", [this] {
+        return static_cast<double>(
+            aggHammerStats().silentCorruptions);
+    });
+    r.registerScalar("dram.hammer.flips_scrubbed", [this] {
+        return static_cast<double>(aggHammerStats().flipsScrubbed);
+    });
+    r.registerScalar("dram.hammer.window_resets", [this] {
+        return static_cast<double>(aggHammerStats().windowResets);
+    });
+    r.registerScalar("dram.hammer.mitigations_requested", [this] {
+        return static_cast<double>(
+            aggHammerStats().mitigationsRequested);
+    });
+    r.registerScalar("dram.hammer.mitigations_issued", [this] {
+        return static_cast<double>(
+            aggHammerStats().mitigationsIssued);
+    });
+    r.registerScalar("dram.hammer.mitigation_cycles", [this] {
+        return static_cast<double>(aggHammerStats().mitigationCycles);
+    });
+    r.registerScalar("dram.hammer.tracker_evictions", [this] {
+        return static_cast<double>(aggHammerStats().trackerEvictions);
+    });
+    for (std::uint32_t c = 0; c < totalChannels(); ++c) {
+        const std::string p = "dram.ch" + std::to_string(c) +
+                              ".hammer.";
+        r.registerScalar(p + "victim_flips", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelHammerStats(lc).victimFlips);
+        });
+        r.registerScalar(p + "mitigations_issued", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelHammerStats(lc).mitigationsIssued);
+        });
+    }
+
+    for (std::uint32_t t = 0; t < config_.core.numThreads; ++t) {
+        const std::string p = "cpu.t" + std::to_string(t) + ".";
+        const auto tid = static_cast<ThreadId>(t);
+        r.registerScalar(p + "committed", [this, tid] {
+            return static_cast<double>(committedOf(tid));
+        });
+        r.registerScalar(p + "rob_occupancy", [this, tid] {
+            std::uint32_t occ = 0;
+            for (const auto &c : cores_)
+                occ += c->robOccupancy(tid);
+            return static_cast<double>(occ);
+        });
+        r.registerScalar(p + "rob_high_water", [this, tid] {
+            std::uint32_t hw = 0;
+            for (const auto &c : cores_)
+                hw = std::max(hw, c->robHighWater(tid));
+            return static_cast<double>(hw);
+        });
+        r.registerScalar(p + "iq_high_water", [this, tid] {
+            std::uint32_t hw = 0;
+            for (const auto &c : cores_)
+                hw = std::max(hw, c->intIqHighWater(tid));
+            return static_cast<double>(hw);
+        });
+        r.registerScalar(p + "dram_reads", [this, tid] {
+            const auto reads = perThreadReads();
+            return tid < reads.size()
+                       ? static_cast<double>(reads[tid])
+                       : 0.0;
+        });
+    }
+
+    for (std::size_t c = 0; c < kNumBlameComponents; ++c) {
+        const std::string name =
+            blameComponentName(static_cast<BlameComponent>(c));
+        r.registerScalar("dram.blame." + name + "_cycles", [this, c] {
+            return static_cast<double>(
+                aggDramStats().blameTotals.cycles[c]);
+        });
+        r.registerHistogram("dram.blame." + name, [this, c] {
+            return aggDramStats().blameHist[c];
+        });
+    }
+    for (std::uint32_t t = 0; t < config_.core.numThreads; ++t) {
+        const std::string p = "cpu.t" + std::to_string(t) + ".blame.";
+        for (std::size_t c = 0; c < kNumBlameComponents; ++c) {
+            const std::string name =
+                blameComponentName(static_cast<BlameComponent>(c));
+            r.registerScalar(p + name + "_cycles", [this, t, c] {
+                const auto per = aggDramStats().perThreadBlame;
+                return t < per.size()
+                           ? static_cast<double>(per[t].cycles[c])
+                           : 0.0;
+            });
+        }
+    }
+    for (std::uint32_t i = 0; i < config_.core.numThreads; ++i) {
+        const std::string p =
+            "dram.interference.t" + std::to_string(i) + ".";
+        const auto blocked = static_cast<ThreadId>(i);
+        r.registerScalar(p + "system", [this, blocked] {
+            return static_cast<double>(
+                aggDramStats().interference.at(blocked, kThreadNone));
+        });
+        for (std::uint32_t j = 0; j < config_.core.numThreads; ++j) {
+            const auto blocker = static_cast<ThreadId>(j);
+            r.registerScalar(
+                p + "t" + std::to_string(j), [this, blocked, blocker] {
+                    return static_cast<double>(
+                        aggDramStats().interference.at(blocked,
+                                                       blocker));
+                });
+        }
+        r.registerScalar(p + "total", [this, blocked] {
+            return static_cast<double>(
+                aggDramStats().interference.rowSum(blocked));
+        });
+    }
+
+    r.registerScalar("trace.dropped_events", [this] {
+        return tracer_ ? static_cast<double>(tracer_->droppedEvents())
+                       : 0.0;
+    });
+
+    for (std::uint32_t c = 0; c < totalChannels(); ++c) {
+        const std::string p = "dram.ch" + std::to_string(c) +
+                              ".power.";
+        r.registerScalar(p + "active_cycles", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelPowerStats(lc).activeCycles);
+        });
+        r.registerScalar(p + "powerdown_fast_cycles", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelPowerStats(lc).powerdownFastCycles);
+        });
+        r.registerScalar(p + "powerdown_slow_cycles", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelPowerStats(lc).powerdownSlowCycles);
+        });
+        r.registerScalar(p + "self_refresh_cycles", [this, c] {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            return static_cast<double>(
+                d.channelPowerStats(lc).selfRefreshCycles);
+        });
+        r.registerScalar("dram.ch" + std::to_string(c) +
+                             ".hammer.mitigation_cycles",
+                         [this, c] {
+                             std::uint32_t lc;
+                             const DramSystem &d = dramOfChannel(c, lc);
+                             return static_cast<double>(
+                                 d.channelHammerStats(lc)
+                                     .mitigationCycles);
+                         });
+    }
+
+    r.registerHistogram("dram.read_latency", [this] {
+        return aggDramStats().readLatencyHist;
+    });
+    r.registerHistogram("dram.read_queue_depth", [this] {
+        return aggDramStats().queueDepthHist;
+    });
+    r.registerHistogram("dram.row_hit_run", [this] {
+        return aggDramStats().rowHitRunHist;
+    });
+    r.registerHistogram("dram.bandwidth_share_pct", [this] {
+        LogHistogram h;
+        const auto reads = perThreadReads();
+        std::uint64_t total = 0;
+        for (auto v : reads)
+            total += v;
+        if (total > 0) {
+            for (auto v : reads)
+                h.sample((100 * v + total / 2) / total);
+        }
+        return h;
+    });
+
+    // --- stats schema v3: the numa.* block.  Registered (and the
+    // meta keys set) only on a nontrivial topology so 1x1 output is
+    // byte-identical to the legacy machine. ------------------------
+    if (!config_.topology.nontrivial())
+        return;
+    r.setMeta("sockets", std::to_string(config_.topology.sockets));
+    r.setMeta("cores",
+              std::to_string(config_.topology.totalCores()));
+    r.registerScalar("numa.local_reads", [this] {
+        return static_cast<double>(router_->stats().localReads);
+    });
+    r.registerScalar("numa.remote_reads", [this] {
+        return static_cast<double>(router_->stats().remoteReads);
+    });
+    r.registerScalar("numa.remote_read_frac", [this] {
+        return router_->stats().remoteReadFrac();
+    });
+    r.registerScalar("numa.local_writes", [this] {
+        return static_cast<double>(router_->stats().localWrites);
+    });
+    r.registerScalar("numa.remote_writes", [this] {
+        return static_cast<double>(router_->stats().remoteWrites);
+    });
+    r.registerScalar("numa.outbound_cycles", [this] {
+        return static_cast<double>(router_->stats().outboundCycles);
+    });
+    r.registerScalar("numa.return_cycles", [this] {
+        return static_cast<double>(router_->stats().returnCycles);
+    });
+    r.registerScalar("numa.link_queue_cycles", [this] {
+        return static_cast<double>(router_->stats().linkQueueCycles);
+    });
+    r.registerScalar("numa.link_transfers", [this] {
+        return static_cast<double>(router_->stats().linkTransfers);
+    });
+    r.registerScalar("numa.migrations", [this] {
+        return static_cast<double>(router_->stats().migrations);
+    });
+    r.registerScalar("numa.migration_stall_cycles", [this] {
+        return static_cast<double>(
+            router_->stats().migrationStallCycles);
+    });
+    for (std::uint32_t s = 0; s < config_.topology.sockets; ++s) {
+        const std::string p = "numa.s" + std::to_string(s) + ".";
+        r.registerScalar(p + "reads", [this, s] {
+            return static_cast<double>(
+                drams_[s]->aggregateStats().reads);
+        });
+        r.registerScalar(p + "writes", [this, s] {
+            return static_cast<double>(
+                drams_[s]->aggregateStats().writes);
+        });
+        r.registerScalar(p + "row_hits", [this, s] {
+            return static_cast<double>(
+                drams_[s]->aggregateStats().rowHits);
+        });
+    }
+    for (std::uint32_t t = 0; t < config_.core.numThreads; ++t) {
+        const std::string p = "numa.t" + std::to_string(t) + ".";
+        r.registerScalar(p + "remote_reads", [this, t] {
+            const auto &per = router_->stats().perThreadRemoteReads;
+            return t < per.size() ? static_cast<double>(per[t]) : 0.0;
+        });
+        r.registerScalar(p + "return_cycles", [this, t] {
+            const auto &per = router_->stats().perThreadReturnCycles;
+            return t < per.size() ? static_cast<double>(per[t]) : 0.0;
+        });
+        r.registerScalar(p + "core", [this, t] {
+            return static_cast<double>(threadCore_[t]);
+        });
+    }
+}
+
+void
+NumaSystem::sampleEpoch()
+{
+    for (auto &d : drams_)
+        d->syncPower(now_);
+    if (registry_)
+        registry_->sampleEpoch(now_);
+    if (tracer_) {
+        for (std::uint32_t c = 0; c < totalChannels(); ++c) {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            tracer_->counter(
+                tracePidChannel(c), "queued_reads", now_,
+                static_cast<double>(d.channelQueuedReads(lc)));
+        }
+        double rob_total = 0.0;
+        for (std::uint32_t t = 0; t < config_.core.numThreads; ++t) {
+            for (const auto &c : cores_)
+                rob_total +=
+                    c->robOccupancy(static_cast<ThreadId>(t));
+        }
+        tracer_->counter(kTracePidCpu, "rob_occupancy", now_,
+                         rob_total);
+        static const char *const kBlameCounter[kNumBlameComponents] = {
+            "blame_queueing",      "blame_sched_deferral",
+            "blame_bank_conflict", "blame_bus_contention",
+            "blame_refresh_stall", "blame_scrub",
+            "blame_fault_retry",   "blame_ecc_overhead",
+            "blame_power_exit",    "blame_hammer_mitigation",
+            "blame_remote_access", "blame_intrinsic"};
+        for (std::uint32_t c = 0; c < totalChannels(); ++c) {
+            std::uint32_t lc;
+            const DramSystem &d = dramOfChannel(c, lc);
+            const int pid = tracePidChannel(c);
+            const ControllerStats &s = d.channelStats(lc);
+            for (std::size_t k = 0; k < kNumBlameComponents; ++k) {
+                tracer_->counter(
+                    pid, kBlameCounter[k], now_,
+                    static_cast<double>(s.blameTotals.cycles[k]));
+            }
+            if (config_.dram.power.enabled) {
+                const PowerStats &p = d.channelPowerStats(lc);
+                tracer_->counter(
+                    pid, "power_active_cycles", now_,
+                    static_cast<double>(p.activeCycles));
+                tracer_->counter(
+                    pid, "power_lowpower_cycles", now_,
+                    static_cast<double>(p.powerdownFastCycles +
+                                        p.powerdownSlowCycles +
+                                        p.selfRefreshCycles));
+            }
+            if (config_.dram.hammer.mitigates()) {
+                tracer_->counter(
+                    pid, "hammer_mitigation_cycles", now_,
+                    static_cast<double>(
+                        d.channelHammerStats(lc).mitigationCycles));
+            }
+        }
+    }
+}
+
+void
+NumaSystem::exportObservability()
+{
+    for (auto &d : drams_)
+        d->syncPower(now_);
+    if (registry_) {
+        if (!config_.observe.statsJsonPath.empty()) {
+            std::ofstream os(config_.observe.statsJsonPath);
+            if (os)
+                registry_->writeJson(os, now_);
+            else
+                warn("cannot write stats JSON to %s",
+                     config_.observe.statsJsonPath.c_str());
+        }
+        if (!config_.observe.statsCsvPath.empty()) {
+            std::ofstream os(config_.observe.statsCsvPath);
+            if (os)
+                registry_->writeCsv(os, now_);
+            else
+                warn("cannot write stats CSV to %s",
+                     config_.observe.statsCsvPath.c_str());
+        }
+    }
+    if (tracer_)
+        tracer_->flush();
+}
+
+void
+NumaSystem::prewarmCaches(const std::vector<AppProfile> &apps)
+{
+    // Same structural warm-up as SmtSystem, with each thread warming
+    // through the hierarchy of the core it was placed on (which is
+    // also what makes first-touch frames land on the right home).
+    const std::uint64_t line = config_.hierarchy.l1d.lineBytes;
+    const std::uint64_t chunk = config_.hierarchy.pageBytes;
+    const std::uint64_t cold_cap = config_.hierarchy.l3.sizeBytes;
+
+    auto cold_prewarm_bytes = [cold_cap](const AppProfile &a) {
+        if (a.coldBytes > cold_cap &&
+            (a.coldPattern == AccessPattern::Streaming ||
+             a.coldPattern == AccessPattern::Strided ||
+             a.coldPattern == AccessPattern::RowHammer)) {
+            return std::uint64_t{0};
+        }
+        return std::min<std::uint64_t>(a.coldBytes, cold_cap);
+    };
+
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const auto tid = static_cast<ThreadId>(i);
+        const AppProfile &a = apps[i];
+        Hierarchy &h = *hierarchies_[threadCore_[i]];
+        h.preallocate(tid, SyntheticStream::kCodeBase, a.codeBytes);
+        h.preallocate(tid, SyntheticStream::kHotBase, a.hotBytes);
+        h.preallocate(tid, SyntheticStream::kColdBase, a.coldBytes);
+    }
+
+    std::uint64_t max_bytes = 0;
+    for (const AppProfile &a : apps) {
+        max_bytes = std::max(max_bytes, a.hotBytes);
+        max_bytes = std::max(max_bytes, cold_prewarm_bytes(a));
+    }
+
+    for (std::uint64_t base = 0; base < max_bytes; base += chunk) {
+        for (size_t i = 0; i < apps.size(); ++i) {
+            const auto tid = static_cast<ThreadId>(i);
+            const AppProfile &a = apps[i];
+            Hierarchy &h = *hierarchies_[threadCore_[i]];
+            for (std::uint64_t off = base;
+                 off < std::min(base + chunk, a.hotBytes);
+                 off += line) {
+                h.prewarmLine(tid, SyntheticStream::kHotBase + off,
+                              true);
+            }
+            const std::uint64_t cold_limit = cold_prewarm_bytes(a);
+            for (std::uint64_t off = base;
+                 off < std::min(base + chunk, cold_limit);
+                 off += line) {
+                h.prewarmLine(tid, SyntheticStream::kColdBase + off,
+                              false);
+            }
+        }
+    }
+}
+
+void
+NumaSystem::stepCycle()
+{
+    ++now_;
+    events_.runUntil(now_);
+    for (auto &d : drams_)
+        d->tick(now_);
+    for (auto &h : hierarchies_)
+        h->tick(now_);
+    for (auto &c : cores_)
+        c->cycle(now_);
+}
+
+std::uint64_t
+NumaSystem::skipToNextEvent(Cycle clamp)
+{
+    // Cores first, with early-outs (see SmtSystem::skipToNextEvent).
+    Cycle next = kCycleNever;
+    for (const auto &c : cores_) {
+        next = std::min(next, c->nextEventAt(now_));
+        if (next <= now_ + 1)
+            return 0;
+    }
+    for (const auto &h : hierarchies_) {
+        if (h->pendingWritebacks() > 0)
+            return 0;  // writeback drain retries every cycle
+    }
+    // A draining migration checks quiescence every cycle; both
+    // kernels must observe the handover on the same cycle.
+    if (!pendingMigrations_.empty())
+        return 0;
+    next = std::min(next, events_.nextEventAt());
+    if (next <= now_ + 1)
+        return 0;
+    for (const auto &d : drams_)
+        next = std::min(next, d->nextEventAt(now_));
+    if (next <= now_ + 1)
+        return 0;
+    if (next == kCycleNever && clamp == kCycleNever) {
+        dumpState(std::cerr);
+        panic("event-driven kernel: no component reports a pending "
+              "event at cycle %llu and no watchdog/epoch deadline "
+              "bounds the jump — the machine is deadlocked",
+              (unsigned long long)now_);
+    }
+    next = std::min(next, clamp);
+    if (next <= now_ + 1)
+        return 0;
+    const std::uint64_t skipped = next - now_ - 1;
+    for (auto &c : cores_)
+        c->skipCycles(skipped);
+    now_ = next - 1;
+    return skipped;
+}
+
+void
+NumaSystem::considerMigration()
+{
+    // Refresh the per-epoch baselines whatever we decide, so the
+    // next epoch judges only its own traffic.
+    const std::uint32_t n = config_.core.numThreads;
+    const auto &remote = router_->stats().perThreadRemoteReads;
+    std::vector<std::uint64_t> delta(n, 0);
+    for (std::uint32_t t = 0; t < n; ++t)
+        delta[t] = remote[t] - remoteBase_[t];
+    const auto refresh = [&] {
+        for (std::uint32_t t = 0; t < n; ++t) {
+            remoteBase_[t] = remote[t];
+            toSocketBase_[t] = router_->readsToSocket(t);
+        }
+    };
+
+    if (!pendingMigrations_.empty()) {
+        refresh();
+        return;
+    }
+
+    // Candidate: the thread paying the most remote reads this epoch.
+    ThreadId cand = kThreadNone;
+    for (std::uint32_t t = 0; t < n; ++t) {
+        if (delta[t] >= kMigrateThreshold &&
+            (cand == kThreadNone || delta[t] > delta[cand]))
+            cand = static_cast<ThreadId>(t);
+    }
+    if (cand == kThreadNone) {
+        refresh();
+        return;
+    }
+
+    // Where does its data live?  The socket it read most from.
+    const auto &to_socket = router_->readsToSocket(cand);
+    std::uint32_t dominant = 0;
+    std::uint64_t best = 0;
+    for (std::uint32_t s = 0; s < config_.topology.sockets; ++s) {
+        const std::uint64_t d = to_socket[s] - toSocketBase_[cand][s];
+        if (d > best) {
+            best = d;
+            dominant = s;
+        }
+    }
+    const std::uint32_t from = threadCore_[cand];
+    if (router_->socketOf(from) == dominant) {
+        refresh();
+        return;
+    }
+
+    const std::uint32_t ways =
+        config_.topology.effectiveWays(n);
+    std::vector<std::uint32_t> load(config_.topology.totalCores(), 0);
+    for (std::uint32_t t = 0; t < n; ++t)
+        ++load[threadCore_[t]];
+
+    const std::uint32_t lo = dominant * config_.topology.coresPerSocket;
+    const std::uint32_t hi = lo + config_.topology.coresPerSocket;
+    std::uint32_t target = kThreadNone;
+    for (std::uint32_t c = lo; c < hi; ++c) {
+        if (load[c] < ways) {
+            target = c;
+            break;
+        }
+    }
+
+    if (target != std::uint32_t{kThreadNone}) {
+        cores_[from]->bindStream(cand, nullptr);
+        pendingMigrations_.push_back({cand, from, target, now_});
+        refresh();
+        return;
+    }
+
+    // Socket full: swap with its least remote-hungry thread, with
+    // 2x hysteresis so a marginal difference never ping-pongs.
+    ThreadId victim = kThreadNone;
+    for (std::uint32_t t = 0; t < n; ++t) {
+        if (router_->socketOf(threadCore_[t]) != dominant)
+            continue;
+        if (victim == kThreadNone || delta[t] < delta[victim])
+            victim = static_cast<ThreadId>(t);
+    }
+    if (victim != kThreadNone &&
+        delta[cand] >= 2 * delta[victim] + kMigrateThreshold) {
+        const std::uint32_t vcore = threadCore_[victim];
+        cores_[from]->bindStream(cand, nullptr);
+        cores_[vcore]->bindStream(victim, nullptr);
+        pendingMigrations_.push_back({cand, from, vcore, now_});
+        pendingMigrations_.push_back({victim, vcore, from, now_});
+    }
+    refresh();
+}
+
+void
+NumaSystem::serviceMigrations()
+{
+    for (std::size_t i = 0; i < pendingMigrations_.size();) {
+        const PendingMigration &m = pendingMigrations_[i];
+        if (cores_[m.from]->quiescent(m.tid)) {
+            cores_[m.to]->migrateIn(
+                m.tid, streams_[m.tid].get(),
+                now_ + config_.topology.migrationCost);
+            threadCore_[m.tid] = m.to;
+            router_->noteMigration(now_ - m.since +
+                                   config_.topology.migrationCost);
+            pendingMigrations_.erase(pendingMigrations_.begin() +
+                                     static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+RunResult
+NumaSystem::run(std::uint64_t measure_insts,
+                std::uint64_t warmup_insts)
+{
+    const std::uint32_t n = config_.core.numThreads;
+    const bool migrating =
+        config_.topology.placement == PlacementPolicy::Migrate &&
+        config_.topology.migrationEpoch > 0;
+
+    auto all_committed = [this, n](std::uint64_t target,
+                                   std::uint64_t grand_base,
+                                   const std::vector<std::uint64_t>
+                                       &base) {
+        if (grandCommitted() - grand_base <
+            static_cast<std::uint64_t>(n) * target)
+            return false;
+        for (ThreadId t = 0; t < n; ++t) {
+            if (committedOf(t) - base[t] < target)
+                return false;
+        }
+        return true;
+    };
+
+    Watchdog watchdog(config_.progressWindow, "commit progress");
+    watchdog.kick(now_);
+    const auto dump = [this] { dumpState(std::cerr); };
+
+    const bool event_driven =
+        config_.kernel == KernelMode::EventDriven && !tracer_;
+    const auto watchdog_clamp = [&watchdog] {
+        return watchdog.bound() > 0
+                   ? watchdog.lastProgressAt() + watchdog.bound() + 1
+                   : kCycleNever;
+    };
+    // Migration epochs are clamps too: the decision cycle must be
+    // real-stepped so both kernels decide on identical state.
+    const auto migrate_clamp = [this, migrating](Cycle clamp) {
+        return migrating
+                   ? std::min(clamp, lastMigrateAt_ +
+                                         config_.topology
+                                             .migrationEpoch)
+                   : clamp;
+    };
+    const auto os_tick = [this, migrating] {
+        if (migrating &&
+            now_ - lastMigrateAt_ >= config_.topology.migrationEpoch) {
+            lastMigrateAt_ = now_;
+            considerMigration();
+        }
+        if (!pendingMigrations_.empty())
+            serviceMigrations();
+    };
+
+    // ---- Warm-up phase ----
+    std::vector<std::uint64_t> zero(n, 0);
+    std::uint64_t last_total = grandCommitted();
+    while (!all_committed(warmup_insts, 0, zero)) {
+        if (event_driven)
+            skipToNextEvent(migrate_clamp(watchdog_clamp()));
+        stepCycle();
+        os_tick();
+        const std::uint64_t total = grandCommitted();
+        if (total != last_total) {
+            last_total = total;
+            watchdog.kick(now_);
+        }
+        watchdog.checkOrDie(now_, dump);
+    }
+
+    // ---- Reset statistics at the measurement boundary ----
+    for (auto &h : hierarchies_)
+        h->resetStats();
+    for (auto &d : drams_)
+        d->resetStats(now_);
+    for (auto &c : cores_)
+        c->resetHighWater();
+    router_->resetStats();
+    remoteBase_.assign(n, 0);
+    for (auto &per : toSocketBase_)
+        per.assign(per.size(), 0);
+    lastMigrateAt_ = now_;
+    lastEpochAt_ = now_;
+    statsResetAt_ = now_;
+
+    std::vector<std::uint64_t> base(n);
+    std::uint64_t base_mispredicts = 0;
+    std::uint64_t base_branches = 0;
+    for (ThreadId t = 0; t < n; ++t) {
+        base[t] = committedOf(t);
+        for (const auto &c : cores_) {
+            base_branches += c->perf(t).branches;
+            base_mispredicts += c->perf(t).mispredicts;
+        }
+    }
+    const std::uint64_t grand_base = grandCommitted();
+    const Cycle start = now_;
+    std::uint64_t int_issue_base = 0;
+    for (const auto &c : cores_)
+        int_issue_base += c->intIssueActiveCycles();
+
+    RunResult res;
+    res.ipc.assign(n, 0.0);
+    res.committed.assign(n, 0);
+    std::vector<Cycle> finish(n, 0);
+
+    // ---- Measured phase ----
+    while (!all_committed(measure_insts, grand_base, base)) {
+        if (event_driven) {
+            Cycle clamp = migrate_clamp(watchdog_clamp());
+            if (config_.observe.epoch > 0) {
+                clamp = std::min(clamp,
+                                 lastEpochAt_ + config_.observe.epoch);
+            }
+            const std::uint64_t skipped = skipToNextEvent(clamp);
+            if (skipped > 0 && dramBusy()) {
+                const size_t outstanding = dramOutstanding();
+                res.outstandingHist.sample(outstanding, skipped);
+                if (outstanding >= 2) {
+                    res.threadsHist.sample(
+                        distinctThreadsOutstanding(), skipped);
+                }
+            }
+        }
+        stepCycle();
+        os_tick();
+
+        if (config_.observe.epoch > 0 &&
+            now_ - lastEpochAt_ >= config_.observe.epoch) {
+            lastEpochAt_ = now_;
+            sampleEpoch();
+        }
+
+        if (dramBusy()) {
+            const size_t outstanding = dramOutstanding();
+            res.outstandingHist.sample(outstanding);
+            if (outstanding >= 2)
+                res.threadsHist.sample(distinctThreadsOutstanding());
+        }
+
+        const std::uint64_t total = grandCommitted();
+        if (total != last_total) {
+            last_total = total;
+            for (ThreadId t = 0; t < n; ++t) {
+                if (finish[t] == 0 &&
+                    committedOf(t) - base[t] >= measure_insts)
+                    finish[t] = now_;
+            }
+            watchdog.kick(now_);
+        }
+        watchdog.checkOrDie(now_, dump);
+    }
+
+    // ---- Collect results ----
+    res.measuredCycles = now_ - start;
+    std::uint64_t committed_total = 0;
+    for (ThreadId t = 0; t < n; ++t) {
+        if (finish[t] == 0)
+            finish[t] = now_;
+        res.committed[t] = committedOf(t) - base[t];
+        committed_total += res.committed[t];
+        res.ipc[t] = static_cast<double>(measure_insts) /
+                     static_cast<double>(finish[t] - start);
+    }
+
+    res.dram = aggDramStats();
+    for (auto &d : drams_)
+        d->syncPower(now_);
+    res.power = aggPowerStats();
+    res.hammer = aggHammerStats();
+    res.numa = router_->stats();
+    const std::uint64_t row_total =
+        res.dram.rowHits + res.dram.rowEmpty + res.dram.rowConflicts;
+    res.rowMissRate = row_total ? res.dram.rowMissRate() : 0.0;
+    res.memAccessPer100 =
+        committed_total
+            ? 100.0 * static_cast<double>(res.dram.reads) /
+                  static_cast<double>(committed_total)
+            : 0.0;
+    std::uint64_t int_issue = 0;
+    for (const auto &c : cores_)
+        int_issue += c->intIssueActiveCycles();
+    res.intIssueActiveFrac =
+        res.measuredCycles
+            ? static_cast<double>(int_issue - int_issue_base) /
+                  static_cast<double>(res.measuredCycles)
+            : 0.0;
+
+    std::uint64_t branches = 0, mispredicts = 0;
+    for (ThreadId t = 0; t < n; ++t) {
+        for (const auto &c : cores_) {
+            branches += c->perf(t).branches;
+            mispredicts += c->perf(t).mispredicts;
+        }
+    }
+    branches -= base_branches;
+    mispredicts -= base_mispredicts;
+    res.branchMispredictRate =
+        branches ? static_cast<double>(mispredicts) / branches : 0.0;
+
+    res.perThreadReads = perThreadReads();
+    std::uint64_t reads_total = 0;
+    for (auto v : res.perThreadReads)
+        reads_total += v;
+    if (reads_total > 0) {
+        for (auto v : res.perThreadReads)
+            res.bandwidthShareHist.sample(
+                (100 * v + reads_total / 2) / reads_total);
+    }
+
+    exportObservability();
+    return res;
+}
+
+void
+NumaSystem::dumpState(std::ostream &os) const
+{
+    os << "=== NumaSystem state dump (cycle " << now_ << ") ===\n";
+    for (ThreadId t = 0; t < config_.core.numThreads; ++t) {
+        os << "  thread " << t << ": core=" << threadCore_[t]
+           << " committed=" << committedOf(t) << "\n";
+    }
+    for (std::uint32_t s = 0; s < config_.topology.sockets; ++s) {
+        os << "  --- socket " << s << " ---\n";
+        drams_[s]->dumpState(os);
+    }
+    os << "=== end NumaSystem state dump ===\n";
+}
+
+} // namespace smtdram

@@ -6,6 +6,8 @@
 
 #include "cache/hierarchy.hh"
 
+#include "dram/dram_system.hh"
+
 namespace smtdram
 {
 namespace

@@ -67,7 +67,7 @@ TEST(StatsRegistry, JsonDocumentCarriesSchemaAndContent)
 
     EXPECT_NE(doc.find("\"schema\":\"smtdram-stats\""),
               std::string::npos);
-    EXPECT_NE(doc.find("\"version\":2"), std::string::npos);
+    EXPECT_NE(doc.find("\"version\":3"), std::string::npos);
     EXPECT_NE(doc.find("\"config\":\"test-config\""),
               std::string::npos);
     EXPECT_NE(doc.find("\"finalCycle\":2000"), std::string::npos);

@@ -7,6 +7,7 @@
 
 #include "common/random.hh"
 #include "cpu/smt_core.hh"
+#include "dram/dram_system.hh"
 
 namespace smtdram
 {

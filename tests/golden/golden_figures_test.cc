@@ -389,5 +389,56 @@ TEST(GoldenFigures, Fig13Blame)
     checkGolden("fig13_blame", text);
 }
 
+TEST(GoldenFigures, Fig14Numa)
+{
+    // Mirrors bench/fig14_numa.cpp: a 2-socket machine (1 core per
+    // socket, 2 SMT ways) with every page on socket 0 (loader home),
+    // running a MEM,MEM,ILP,ILP mix under round-robin vs.
+    // memory-aware placement.  Round-robin strands equake (MEM) on
+    // socket 1 and pays a ring hop per access; memory-aware packs
+    // both MEM threads onto the socket that owns their pages.
+    static const WorkloadMix kMix{"n4-MIX",
+                                  {"mcf", "equake", "gzip", "bzip2"}};
+    auto numa_config = [](PlacementPolicy placement) {
+        SystemConfig config = SystemConfig::paperDefault(4);
+        config.topology.enabled = true;
+        config.topology.sockets = 2;
+        config.topology.coresPerSocket = 1;
+        config.topology.smtWays = 2;
+        config.topology.placement = placement;
+        config.topology.home = HomePolicy::Loader;
+        return config;
+    };
+    const MixRun rr =
+        ctx().runMix(numa_config(PlacementPolicy::RoundRobin), kMix);
+    const MixRun aware =
+        ctx().runMix(numa_config(PlacementPolicy::MemoryAware), kMix);
+
+    std::string text;
+    for (const auto &[label, r] :
+         {std::pair<const char *, const MixRun &>{"rr", rr},
+          {"memaware", aware}}) {
+        appendRun(text, std::string("n4-MIX.") + label, r);
+        appendMetric(text,
+                     std::string("n4-MIX.") + label + ".remote_frac",
+                     r.run.numa.remoteReadFrac());
+        appendMetric(
+            text, std::string("n4-MIX.") + label + ".remote_blame",
+            static_cast<double>(
+                r.run.dram
+                    .blameTotals[BlameComponent::RemoteAccess]));
+    }
+    checkGolden("fig14_numa", text);
+
+    // The acceptance criterion behind the figure: memory-aware beats
+    // round-robin on remote-access blame and on the memory-bound
+    // threads' IPC.
+    EXPECT_LT(
+        aware.run.dram.blameTotals[BlameComponent::RemoteAccess],
+        rr.run.dram.blameTotals[BlameComponent::RemoteAccess]);
+    EXPECT_LT(aware.run.numa.remoteReads, rr.run.numa.remoteReads);
+    EXPECT_GT(aware.run.ipc[0], rr.run.ipc[0]);  // mcf
+}
+
 } // namespace
 } // namespace smtdram

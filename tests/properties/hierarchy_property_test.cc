@@ -12,6 +12,8 @@
 #include <set>
 
 #include "cache/hierarchy.hh"
+
+#include "dram/dram_system.hh"
 #include "common/random.hh"
 
 namespace smtdram

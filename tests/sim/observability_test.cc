@@ -180,7 +180,7 @@ TEST(Observability, ExportsSchemaVersionedStatsAndEpochCsv)
     ASSERT_FALSE(doc.empty());
     EXPECT_NE(doc.find("\"schema\":\"smtdram-stats\""),
               std::string::npos);
-    EXPECT_NE(doc.find("\"version\":2"), std::string::npos);
+    EXPECT_NE(doc.find("\"version\":3"), std::string::npos);
     EXPECT_NE(doc.find(
                   "\"config\":\"2C-1G-xor-open-Hit-first-l3real-pf0\""),
               std::string::npos);

@@ -33,14 +33,26 @@ CALIBRATION = "BM_Calibration"
 
 
 def load_times(path):
-    """name -> real_time in ns (aggregate medians preferred)."""
+    """(name -> real_time ns, set of skipped names).
+
+    Aggregate medians are preferred over per-repetition rows.  A bench
+    that marked itself with ``SkipWithError`` reports zero time; it is
+    excluded from the time map (it must neither poison an updated
+    baseline nor divide a comparison by zero) and returned in the
+    skipped set so the comparison can tell "bench self-skipped" apart
+    from "bench deleted".
+    """
     with open(path) as f:
         doc = json.load(f)
     times = {}
     medians = {}
+    skipped = set()
     for b in doc.get("benchmarks", []):
         name = b.get("run_name", b["name"])
         t = float(b["real_time"])
+        if b.get("error_occurred") or t <= 0.0:
+            skipped.add(name)
+            continue
         if b.get("run_type") == "aggregate":
             if b.get("aggregate_name") == "median":
                 medians[name] = t
@@ -48,7 +60,8 @@ def load_times(path):
             # Plain runs: keep the fastest repetition (least noise).
             times[name] = min(times.get(name, t), t)
     times.update(medians)
-    return times
+    skipped -= set(times)
+    return times, skipped
 
 
 def main():
@@ -59,7 +72,7 @@ def main():
     tolerance = float(os.environ.get("SMTDRAM_PERF_TOLERANCE", "0.15"))
     update = os.environ.get("SMTDRAM_UPDATE_PERF_BASELINE") == "1"
 
-    current = load_times(current_path)
+    current, current_skipped = load_times(current_path)
     if CALIBRATION not in current:
         print(f"error: {current_path} has no {CALIBRATION} row")
         return 2
@@ -76,7 +89,7 @@ def main():
               "(run with SMTDRAM_UPDATE_PERF_BASELINE=1 to seed it)")
         return 2
 
-    baseline = load_times(baseline_path)
+    baseline, _ = load_times(baseline_path)
     if CALIBRATION not in baseline:
         print(f"error: {baseline_path} has no {CALIBRATION} row")
         return 2
@@ -95,6 +108,15 @@ def main():
         if name == CALIBRATION:
             continue
         if name not in current:
+            if name in current_skipped:
+                # The bench ran but SkipWithError'd (e.g. a self-gated
+                # assertion tripped on a noisy run).  Its own gate is
+                # the authority on whether that matters; don't double-
+                # fail it here as if the bench had been deleted.
+                print(f"{name:<40} {baseline[name]:>12.0f} "
+                      f"{'SKIPPED':>12} {'-':>10}  "
+                      "skipped itself (not gated)")
+                continue
             failures.append(name)
             print(f"{name:<40} {baseline[name]:>12.0f} {'MISSING':>12}")
             continue
